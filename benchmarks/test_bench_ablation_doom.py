@@ -1,0 +1,46 @@
+"""A1 — ablation of Algorithm 1's line-3 dump policy.
+
+Design-choice question: does dumping the unmatched flows on the middle
+switch with the *smallest* color class matter?  Expected shape: the
+paper's "least" policy achieves the highest throughput gain; "most"
+collides the doomed flows with more matched flows and loses some gain;
+"round_robin" spreads the doomed flows and forfeits the gain entirely
+(but treats the doomed flows better — the trade-off in miniature).
+
+Run:  pytest benchmarks/test_bench_ablation_doom.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+from repro.experiments.ablations import dump_policy_ablation
+
+POINTS = ((7, 1), (9, 2), (11, 4))
+
+
+def test_bench_a1_dump_policy(benchmark):
+    rows = benchmark(dump_policy_ablation, POINTS, ("least", "most", "round_robin"))
+
+    print("\n[A1] Doom-Switch line-3 ablation")
+    print(
+        format_table(
+            ["n", "k", "policy", "throughput", "gain vs macro", "min rate"],
+            [
+                [row.n, row.k, row.policy, row.throughput, row.gain_vs_macro, row.min_rate]
+                for row in rows
+            ],
+        )
+    )
+
+    by_point = {}
+    for row in rows:
+        by_point.setdefault((row.n, row.k), {})[row.policy] = row
+    for (n, k), policies in by_point.items():
+        assert (
+            policies["least"].throughput >= policies["most"].throughput
+        ), (n, k)
+        assert (
+            policies["least"].throughput >= policies["round_robin"].throughput
+        ), (n, k)
+        # the flip side: round-robin treats the doomed flows best
+        assert (
+            policies["round_robin"].min_rate >= policies["least"].min_rate
+        ), (n, k)

@@ -1,0 +1,125 @@
+"""E6 — §6's simulation study: routers vs the macro-switch abstraction.
+
+Paper shape (extended version, summarized in §6): on stochastic inputs,
+congestion-aware routers that borrow macro-switch rates approximate the
+macro-switch allocation well; on worst-case inputs some flows fall far
+below their macro-switch rates — for every router.
+
+Run:  pytest benchmarks/test_bench_ecmp_simulation.py --benchmark-only -s
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_table
+from repro.experiments.ecmp_simulation import (
+    adversarial_comparison,
+    stochastic_comparison,
+)
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def test_bench_e6_stochastic(benchmark):
+    rows = benchmark(stochastic_comparison, 3, 30, range(3))
+
+    # Feasibility sanity: no router ever lex-exceeds the macro-switch.
+    assert all(row.lex_at_most_macro for row in rows)
+
+    groups = {}
+    for row in rows:
+        groups.setdefault((row.workload, row.router), []).append(row)
+
+    table = []
+    for (workload, router), cells in sorted(groups.items()):
+        table.append(
+            [
+                workload,
+                router,
+                _mean(float(c.throughput_fraction) for c in cells),
+                _mean(float(c.min_rate_ratio) for c in cells),
+                _mean(c.mean_rate_ratio for c in cells),
+            ]
+        )
+    print("\n[E6] §6 simulation — routers vs macro-switch (mean over seeds)")
+    print(
+        format_table(
+            [
+                "workload",
+                "router",
+                "throughput frac",
+                "worst-flow ratio",
+                "mean-flow ratio",
+            ],
+            table,
+        )
+    )
+
+    # The paper's qualitative claim: congestion-aware routing tracks the
+    # macro-switch closely on stochastic inputs, ECMP does not.
+    greedy_mean = _mean(
+        _mean(c.mean_rate_ratio for c in cells)
+        for (w, r), cells in groups.items()
+        if r == "greedy"
+    )
+    ecmp_mean = _mean(
+        _mean(c.mean_rate_ratio for c in cells)
+        for (w, r), cells in groups.items()
+        if r == "ecmp"
+    )
+    assert greedy_mean > 0.95
+    assert greedy_mean > ecmp_mean
+
+
+def test_bench_e6_locality(benchmark):
+    """E6c — rack locality concentrates, not relieves, the interior."""
+    from repro.experiments.ecmp_simulation import locality_sweep
+
+    rows = benchmark(locality_sweep, 3, 30, (0.0, 0.5, 1.0), 0)
+
+    greedy = [row for row in rows if row.router == "greedy"]
+    ecmp = [row for row in rows if row.router == "ecmp"]
+    # demand-aware routing holds the macro allocation at every locality
+    assert all(float(row.throughput_fraction) > 0.97 for row in greedy)
+    # ECMP is strictly worse than greedy everywhere in this sweep
+    for e_row, g_row in zip(ecmp, greedy):
+        assert e_row.throughput_fraction <= g_row.throughput_fraction
+
+    print("\n[E6c] rack-locality sweep (3-stage Clos: local flows still")
+    print("      cross the interior, so locality concentrates collisions)")
+    print(
+        format_table(
+            ["locality", "router", "throughput frac", "worst ratio", "interior-bottlenecked"],
+            [
+                [
+                    row.locality,
+                    row.router,
+                    row.throughput_fraction,
+                    row.min_rate_ratio,
+                    row.interior_bound_fraction,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e6_adversarial(benchmark):
+    rows = benchmark(adversarial_comparison, 3)
+
+    print("\n[E6b] §6 worst case — Theorem 4.3 flows (n = 3)")
+    print(
+        format_table(
+            ["router", "throughput frac", "worst-flow ratio"],
+            [
+                [row.router, row.throughput_fraction, row.min_rate_ratio]
+                for row in rows
+            ],
+        )
+    )
+    # Every router leaves some flow well below its macro-switch rate —
+    # Theorem 4.3 proves ≤ 1/n (here 1/3) is unavoidable for *optimal*
+    # routing; heuristics cannot beat the optimum.
+    assert all(row.min_rate_ratio < 1 for row in rows)

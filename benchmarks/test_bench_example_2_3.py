@@ -1,0 +1,38 @@
+"""E1 — Figure 1 / Example 2.3: regenerate the three sorted vectors.
+
+Run:  pytest benchmarks/test_bench_example_2_3.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+from repro.core.theorems import example_2_3_sorted_vectors
+from repro.experiments.example_2_3 import run
+
+
+def test_bench_example_2_3(benchmark):
+    result = benchmark(run)
+
+    expected = example_2_3_sorted_vectors()
+    assert result.matches_paper
+    assert result.orderings_hold
+    assert result.macro_vector == expected["macro_switch"]
+    assert result.routing_a_vector == expected["routing_a"]
+    assert result.routing_b_vector == expected["routing_b"]
+    # routing A is the exact lex-max-min optimum of the instance
+    assert result.lex_optimum_vector == result.routing_a_vector
+
+    print("\n[E1] Figure 1 / Example 2.3 — sorted max-min rate vectors")
+    print(
+        format_table(
+            ["allocation", "sorted vector (measured)", "matches paper"],
+            [
+                ["macro-switch", [str(r) for r in result.macro_vector], True],
+                ["routing A", [str(r) for r in result.routing_a_vector], True],
+                ["routing B", [str(r) for r in result.routing_b_vector], True],
+                [
+                    "lex-max-min (exhaustive)",
+                    [str(r) for r in result.lex_optimum_vector],
+                    "== routing A",
+                ],
+            ],
+        )
+    )

@@ -1,0 +1,79 @@
+"""E12 — the paper's phenomena on k-ary fat-trees (§7's generality claim).
+
+Paper context: §7 restates R1 "for every interconnection network
+connecting sources to destinations"; fat-trees are the deployed fabric.
+
+Measured shape: (1) T^MmF ≥ T^MT/2 holds on fat-tree host populations
+and the embedded Figure 2 gadget approaches the bound; (2) under
+single-path ECMP a substantial fraction of flows fall below their
+macro-abstraction rates with bottlenecks on interior links — the R2
+leakage is not Clos-specific; (3) the distributed fair-share dynamics
+converge on the fat-tree unchanged.
+
+Run:  pytest benchmarks/test_bench_fattree.py --benchmark-only -s
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_table
+from repro.experiments.fattree_generality import (
+    dynamics_on_fat_tree,
+    r1_on_fat_tree,
+    r2_leakage_on_fat_tree,
+)
+
+
+def test_bench_e12_r1(benchmark):
+    rows = benchmark(r1_on_fat_tree, 4, 30, range(3))
+
+    assert all(row.bound_holds for row in rows)
+    gadget = [row for row in rows if row.workload.startswith("figure2")][0]
+    # the embedded gadget drives T^MmF/T^MT toward 1/2: 10/9 vs 2
+    assert gadget.t_max_min == Fraction(10, 9)
+    assert gadget.t_max_throughput == 2
+
+    print("\n[E12] R1 on the fat-tree macro abstraction (k = 4)")
+    print(
+        format_table(
+            ["workload", "flows", "T^MmF", "T^MT", "2·T^MmF >= T^MT"],
+            [
+                [row.workload, row.num_flows, row.t_max_min, row.t_max_throughput, row.bound_holds]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e12_r2(benchmark):
+    rows = benchmark(r2_leakage_on_fat_tree, 4, 40, range(3))
+
+    assert all(row.certified for row in rows)
+    # the leakage is real: some flows sit below their macro rates
+    assert any(row.num_below_macro > 0 for row in rows)
+
+    print("\n[E12b] R2 leakage under ECMP inside the fat-tree (k = 4)")
+    print(
+        format_table(
+            ["seed", "flows", "below macro", "min ratio", "interior-bottlenecked"],
+            [
+                [
+                    row.seed,
+                    row.num_flows,
+                    row.num_below_macro,
+                    row.min_ratio,
+                    row.interior_bottlenecked,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e12_dynamics(benchmark):
+    rows = benchmark(dynamics_on_fat_tree, 4, 30, range(3))
+
+    assert all(row.converged and row.max_error < 1e-9 for row in rows)
+    print(
+        f"\n[E12c] fair-share dynamics on the fat-tree: all converge"
+        f" (worst {max(row.rounds for row in rows)} rounds)"
+    )

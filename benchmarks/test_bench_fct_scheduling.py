@@ -1,0 +1,113 @@
+"""E8 — §7 R1 discussion: scheduling vs congestion control on FCT.
+
+Paper shape ("With scheduling, the average throughput across the network
+over time may increase such that the average flow completion times may
+decrease relative to those obtained in the presence of max-min fair
+constraints"): the matching scheduler's mean FCT beats max-min
+congestion control, with the incast burst realizing the closed-form
+(fan_in) vs (fan_in+1)/2 gap — the FCT face of Theorem 3.4's factor 2.
+
+Run:  pytest benchmarks/test_bench_fct_scheduling.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis import format_series, format_table
+from repro.experiments.fct_scheduling import (
+    incast_comparison,
+    load_sweep,
+    poisson_comparison,
+    rerouting_comparison,
+)
+
+
+def test_bench_e8_incast(benchmark):
+    rows = benchmark(incast_comparison, 2, 8)
+
+    by_policy = {row.policy: row.stats for row in rows}
+    assert by_policy["maxmin"].mean_fct == pytest.approx(8.0)
+    assert by_policy["scheduler"].mean_fct == pytest.approx(4.5)
+    assert by_policy["scheduler"].mean_fct < by_policy["maxmin"].mean_fct
+
+    print("\n[E8] §7 R1 — incast burst (fan-in 8), flow completion times")
+    print(
+        format_table(
+            ["policy", "mean FCT", "median", "p99", "mean slowdown"],
+            [
+                [
+                    row.policy,
+                    row.stats.mean_fct,
+                    row.stats.median_fct,
+                    row.stats.p99_fct,
+                    row.stats.mean_slowdown,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e8_load_sweep(benchmark):
+    rows = benchmark(load_sweep, 2, (0.5, 1.5, 3.0), 30.0, 0)
+
+    print("\n[E8b] §7 R1 — mean FCT vs offered load")
+    print(
+        format_series(
+            "arrival rate",
+            [row.rate for row in rows],
+            {
+                "max-min FCT": [row.maxmin_mean_fct for row in rows],
+                "scheduler FCT": [row.scheduler_mean_fct for row in rows],
+                "speedup": [row.speedup for row in rows],
+            },
+        )
+    )
+    # scheduling's advantage grows with load and never hurts materially
+    speedups = [row.speedup for row in rows]
+    assert speedups[-1] > 1.2
+    assert speedups == sorted(speedups)
+    assert all(s > 0.95 for s in speedups)
+
+
+def test_bench_e8_rerouting(benchmark):
+    """E8d — Hedera-style periodic re-routing vs flow pinning."""
+    rows = benchmark(rerouting_comparison, 3, 4.0, 25.0, (0.25, 1.0), 0)
+
+    pinned = [row for row in rows if row.interval == float("inf")][0]
+    fastest = min(rows, key=lambda row: row.mean_fct)
+    assert fastest.mean_fct <= pinned.mean_fct
+
+    print("\n[E8d] §6 routers in time — periodic re-routing of live flows")
+    print(
+        format_table(
+            ["re-route interval", "mean FCT", "mean slowdown"],
+            [
+                [
+                    "never (pinned)" if row.interval == float("inf") else row.interval,
+                    row.mean_fct,
+                    row.mean_slowdown,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e8_poisson_policies(benchmark):
+    rows = benchmark(poisson_comparison, 2, 1.5, 40.0, "exponential", 0)
+
+    by_policy = {row.policy: row.stats for row in rows}
+    assert (
+        by_policy["scheduler"].mean_fct <= by_policy["maxmin"].mean_fct
+    )
+
+    print("\n[E8c] §7 R1 — Poisson arrivals (rate 1.5), all policies")
+    print(
+        format_table(
+            ["policy", "jobs", "mean FCT", "mean slowdown"],
+            [
+                [row.policy, row.stats.count, row.stats.mean_fct, row.stats.mean_slowdown]
+                for row in rows
+            ],
+        )
+    )

@@ -1,0 +1,96 @@
+"""Microbenchmarks of the computational kernels (scaling sanity).
+
+Not a paper artifact; tracks the cost of the primitives every
+experiment is built from, so regressions in the hot paths are visible.
+
+Run:  pytest benchmarks/test_bench_kernels.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.doom_switch import doom_switch
+from repro.core.maxmin import max_min_fair
+from repro.core.throughput import max_throughput_value
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.routers.ecmp import ecmp_routing
+from repro.routers.greedy import greedy_least_congested
+from repro.workloads.stochastic import uniform_random
+
+
+@pytest.fixture(scope="module")
+def big_instance():
+    clos = ClosNetwork(8)
+    flows = uniform_random(clos, 400, seed=0)
+    return clos, flows
+
+
+def test_bench_water_filling_exact(benchmark, big_instance):
+    clos, flows = big_instance
+    routing = ecmp_routing(clos, flows)
+    capacities = clos.graph.capacities()
+    alloc = benchmark(max_min_fair, routing, capacities, True)
+    assert len(alloc) == 400
+
+
+def test_bench_water_filling_float(benchmark, big_instance):
+    clos, flows = big_instance
+    routing = ecmp_routing(clos, flows)
+    capacities = clos.graph.capacities()
+    alloc = benchmark(max_min_fair, routing, capacities, False)
+    assert len(alloc) == 400
+
+
+def test_bench_macro_switch_water_filling(benchmark, big_instance):
+    from repro.core.routing import Routing
+
+    clos, flows = big_instance
+    ms = MacroSwitch(clos.n)
+    routing = Routing.for_macro_switch(ms, flows)
+    alloc = benchmark(max_min_fair, routing, ms.graph.capacities(), True)
+    assert len(alloc) == 400
+
+
+def test_bench_hopcroft_karp(benchmark, big_instance):
+    _, flows = big_instance
+    value = benchmark(max_throughput_value, flows)
+    assert value > 0
+
+
+def test_bench_doom_switch(benchmark, big_instance):
+    clos, flows = big_instance
+    result = benchmark(doom_switch, clos, flows)
+    assert len(result.matched) == max_throughput_value(flows)
+
+
+def test_bench_greedy_router(benchmark, big_instance):
+    clos, flows = big_instance
+    routing = benchmark(greedy_least_congested, clos, flows)
+    assert len(routing) == 400
+
+
+def test_bench_topology_construction(benchmark):
+    clos = benchmark(ClosNetwork, 16)
+    assert clos.graph.num_links() == 4 * 16 * 16 * 2
+
+
+def test_bench_water_filling_fast(benchmark, big_instance):
+    """Heap-accelerated float water-filling (vs the reference above)."""
+    from repro.core.fastmaxmin import max_min_fair_fast
+
+    clos, flows = big_instance
+    routing = ecmp_routing(clos, flows)
+    capacities = clos.graph.capacities()
+    alloc = benchmark(max_min_fair_fast, routing, capacities)
+    assert len(alloc) == 400
+
+
+def test_bench_water_filling_fast_xl(benchmark):
+    """C_16 with 2000 flows — the scale the heap variant exists for."""
+    from repro.core.fastmaxmin import max_min_fair_fast
+
+    clos = ClosNetwork(16)
+    flows = uniform_random(clos, 2000, seed=0)
+    routing = ecmp_routing(clos, flows)
+    capacities = clos.graph.capacities()
+    alloc = benchmark(max_min_fair_fast, routing, capacities)
+    assert len(alloc) == 2000

@@ -1,0 +1,35 @@
+"""E7 — Lemma 5.2: T^{T-MT} = T^MT via König link-disjoint routing.
+
+Paper shape: for every collection of flows, the Clos network replicates
+the macro-switch's maximum throughput exactly (no fairness constraints).
+
+Run:  pytest benchmarks/test_bench_konig.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+from repro.experiments.konig_equivalence import equivalence_checks
+
+
+def test_bench_lemma_5_2(benchmark):
+    rows = benchmark(equivalence_checks, 4, 40, range(3))
+
+    assert all(row.equal for row in rows)
+    assert all(row.feasible for row in rows)
+
+    print("\n[E7] Lemma 5.2 — maximum throughput, macro-switch vs Clos")
+    print(
+        format_table(
+            ["workload", "n", "flows", "T^MT (macro)", "T^T-MT (Clos)", "equal"],
+            [
+                [
+                    row.workload,
+                    row.n,
+                    row.num_flows,
+                    row.t_mt_macro,
+                    row.t_mt_clos,
+                    row.equal,
+                ]
+                for row in rows
+            ],
+        )
+    )

@@ -1,0 +1,76 @@
+"""E15 — breaking the full-bisection premise (oversubscription sweep).
+
+Paper context: the paper's positive facts about Clos networks —
+splittable demand satisfaction (§1) and maximum-throughput preservation
+(Lemma 5.2) — are consequences of *full bisection bandwidth*.
+
+Measured shape: Lemma 5.2's equality T^{T-MT} = T^MT holds exactly at
+interior capacity c = 1 and fails for every c < 1 (the achievable
+throughput scales as c·T^MT for the link-disjoint routing); permutation
+traffic's per-flow rate is exactly min(c, 1); greedy routing's fidelity
+to the macro-switch decays monotonically with oversubscription.
+
+Run:  pytest benchmarks/test_bench_oversubscription.py --benchmark-only -s
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import format_table
+from repro.experiments.oversubscription import permutation_sweep, sweep
+
+CAPACITIES = (Fraction(1), Fraction(3, 4), Fraction(1, 2), Fraction(1, 4))
+
+
+def test_bench_e15_sweep(benchmark):
+    rows = benchmark(sweep, 3, CAPACITIES, 24, 0)
+
+    assert rows[0].lemma_5_2_equality  # full bisection: equality
+    assert all(not row.lemma_5_2_equality for row in rows[1:])
+    fractions_ = [row.throughput_fraction for row in rows]
+    assert fractions_ == sorted(fractions_, reverse=True)
+
+    print("\n[E15] oversubscription sweep (interior capacity c)")
+    print(
+        format_table(
+            [
+                "c",
+                "oversub",
+                "T^MT",
+                "T Clos (LP)",
+                "Lemma 5.2 holds",
+                "greedy tput frac",
+                "worst ratio",
+            ],
+            [
+                [
+                    row.interior_capacity,
+                    row.oversubscription,
+                    row.t_mt_macro,
+                    row.t_clos_lp,
+                    row.lemma_5_2_equality,
+                    row.throughput_fraction,
+                    row.min_rate_ratio,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e15_permutation_closed_form(benchmark):
+    rows = benchmark(
+        permutation_sweep, 3, (Fraction(1), Fraction(1, 2), Fraction(1, 4)), 0
+    )
+
+    for row in rows:
+        assert row.per_flow_rate == row.expected
+
+    print("\n[E15b] permutation traffic under oversubscription: rate = min(c, 1)")
+    print(
+        format_table(
+            ["c", "per-flow rate (measured)", "closed form"],
+            [[row.interior_capacity, row.per_flow_rate, row.expected] for row in rows],
+        )
+    )

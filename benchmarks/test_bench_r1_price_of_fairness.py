@@ -1,0 +1,48 @@
+"""E2 — Figure 2 / Theorem 3.4 (R1): price-of-fairness sweep over k.
+
+Paper shape: T^MmF / T^MT = (1 + 1/(k+1)) / 2, decreasing to 1/2;
+the universal bound T^MmF >= T^MT / 2 holds everywhere.
+
+Run:  pytest benchmarks/test_bench_r1_price_of_fairness.py --benchmark-only -s
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_series
+from repro.experiments.r1_price_of_fairness import random_bound_check, sweep
+
+KS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_bench_r1_sweep(benchmark):
+    rows = benchmark(sweep, KS)
+
+    assert all(row.matches for row in rows)
+    ratios = [row.ratio for row in rows]
+    assert ratios == sorted(ratios, reverse=True)
+    assert all(r > Fraction(1, 2) for r in ratios)
+    assert ratios[-1] - Fraction(1, 2) < Fraction(1, 60)
+
+    print("\n[E2] Theorem 3.4 — price of fairness (tight construction)")
+    print(
+        format_series(
+            "k",
+            [row.k for row in rows],
+            {
+                "T^MT": [row.t_max_throughput for row in rows],
+                "T^MmF": [row.t_max_min for row in rows],
+                "ratio (measured)": [row.ratio for row in rows],
+                "ratio (paper)": [row.predicted_ratio for row in rows],
+            },
+        )
+    )
+
+
+def test_bench_r1_random_lower_bound(benchmark):
+    rows = benchmark(random_bound_check, 3, 40, range(5))
+
+    assert all(row.bound_holds for row in rows)
+    print(
+        f"\n[E2b] Theorem 3.4 lower bound on {len(rows)} random workloads:"
+        f" all satisfy T^MmF >= T^MT / 2"
+    )

@@ -1,0 +1,42 @@
+"""E3 — Figure 3 / Theorem 4.2: macro-switch rates are unroutable.
+
+Paper shape: the exhaustive search proves NO unsplittable routing
+carries the macro-switch max-min rates, while the splittable LP routes
+them — unsplittability is the culprit.
+
+Run:  pytest benchmarks/test_bench_r2_infeasibility.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+from repro.experiments.r2_starvation import infeasibility_sweep
+
+
+def test_bench_r2_infeasibility(benchmark):
+    rows = benchmark(infeasibility_sweep, (3,))
+
+    assert all(not row.unsplittable_feasible for row in rows)
+    assert all(row.splittable_feasible for row in rows)
+
+    print("\n[E3] Theorem 4.2 — replicating macro-switch max-min rates in C_n")
+    print(
+        format_table(
+            ["n", "flows", "splittable (LP)", "unsplittable (exhaustive)"],
+            [
+                [
+                    row.n,
+                    row.num_flows,
+                    "feasible" if row.splittable_feasible else "infeasible",
+                    "feasible" if row.unsplittable_feasible else "INFEASIBLE",
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_r2_infeasibility_n4():
+    """The slower n = 4 confirmation (seconds, not benchmarked)."""
+    rows = infeasibility_sweep((4,))
+    assert not rows[0].unsplittable_feasible
+    assert rows[0].splittable_feasible
+    print("\n[E3b] n = 4: unsplittable INFEASIBLE, splittable feasible")

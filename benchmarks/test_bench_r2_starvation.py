@@ -1,0 +1,95 @@
+"""E4 — Figure 3 / Theorem 4.3 (R2): the 1/n starvation series.
+
+Paper shape: the type-3 flow's macro-switch rate is 1 but its
+lex-max-min rate is 1/n, certified via the bottleneck property and
+local optimality (the proof's own structure).
+
+Run:  pytest benchmarks/test_bench_r2_starvation.py --benchmark-only -s
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_series
+from repro.experiments.r2_starvation import (
+    claim_4_5_integer_solutions,
+    random_routing_dominance,
+    starvation_sweep,
+)
+
+SIZES = (3, 4, 5, 6)
+
+
+def test_bench_r2_starvation(benchmark):
+    # The benchmarked sweep verifies rates + bottleneck certificates for
+    # all sizes; the O(|F|·n)-water-fillings local-optimality probe is
+    # checked separately (below) on the smaller sizes to keep the timing
+    # loop honest about the per-size verification cost.
+    rows = benchmark(starvation_sweep, SIZES, False)
+
+    for row in rows:
+        assert row.starvation_factor == Fraction(1, row.n)
+        assert row.starvation_factor == row.predicted_factor
+        assert row.bottleneck_certified
+        assert row.per_type_rates_match
+
+    print("\n[E4] Theorem 4.3 — lex-max-min starvation of the type-3 flow")
+    print(
+        format_series(
+            "n",
+            [row.n for row in rows],
+            {
+                "macro rate": [row.macro_type3_rate for row in rows],
+                "lex-max-min rate": [row.lex_type3_rate for row in rows],
+                "factor (measured)": [row.starvation_factor for row in rows],
+                "factor (paper)": [row.predicted_factor for row in rows],
+            },
+        )
+    )
+
+
+def test_bench_r2_local_optimality(benchmark):
+    """Lemma 4.6 Step 2's necessary condition, probed by local search."""
+    rows = benchmark(starvation_sweep, (3, 4), True)
+    assert all(row.locally_optimal for row in rows)
+    print(
+        "\n[E4c] Lemma 4.6 routing is a lex local optimum for n in (3, 4):"
+        " no single-flow reroute improves the sorted vector"
+    )
+
+
+def test_bench_r2_sampled_dominance(benchmark):
+    """Lemma 4.6 Step 2 probed by volume: 200 random routings, none
+    lex-beats the posited optimum (strictly dominated or tied)."""
+    row = benchmark(random_routing_dominance, 3, 200, 0)
+    assert row.dominated + row.ties == row.samples
+    print(
+        f"\n[E4d] sampled dominance (n=3): {row.dominated} dominated,"
+        f" {row.ties} ties out of {row.samples} random routings —"
+        " none beats the Lemma 4.6 optimum"
+    )
+
+
+def test_bench_claim_4_5(benchmark):
+    solutions = benchmark(claim_4_5_integer_solutions, 7)
+    assert solutions == [(0, 7), (8, 0)]
+    print(
+        "\n[E4b] Claim 4.5 (n = 7): integer solutions of x/(n+1) + y/n = 1"
+        f" are exactly {solutions}"
+    )
+
+
+def test_bench_claim_4_5_exhaustive(benchmark):
+    """Claim 4.5 over ALL feasible routings (n = 3): there is exactly one
+    modulo symmetry, and it satisfies both conditions."""
+    from repro.experiments.r2_starvation import claim_4_5_all_routings
+
+    verification = benchmark(claim_4_5_all_routings, 3)
+    assert verification.exhausted
+    assert verification.num_routings == 1
+    assert verification.condition_1_holds and verification.condition_2_holds
+    print(
+        "\n[E4e] Claim 4.5 exhaustive (n = 3): the type-1/type-2 macro rates"
+        " admit exactly ONE routing modulo symmetry, and it satisfies both"
+        " of the claim's conditions — the constraint structure the proof"
+        " derives is not just necessary but uniquely determining"
+    )

@@ -1,0 +1,49 @@
+"""E5 — Figure 4 / Theorem 5.4 (R3): the Doom-Switch throughput sweep.
+
+Paper shape: the max-min throughput of the Doom-Switch routing exceeds
+the macro-switch max-min throughput by a factor approaching 2 (never
+exceeding it), while the doomed flows' rates collapse.
+
+Run:  pytest benchmarks/test_bench_r3_doom_switch.py --benchmark-only -s
+"""
+
+from repro.analysis import format_series
+from repro.experiments.r3_doom_switch import exact_bound_check, sweep
+
+POINTS = ((5, 1), (7, 1), (9, 1), (7, 4), (9, 4), (11, 8), (13, 16))
+
+
+def test_bench_r3_sweep(benchmark):
+    rows = benchmark(sweep, POINTS)
+
+    for row in rows:
+        assert row.gain == row.predicted_gain
+        assert row.upper_bound_holds
+
+    print("\n[E5] Theorem 5.4 — Doom-Switch throughput gain vs the macro-switch")
+    print(
+        format_series(
+            "(n, k)",
+            [f"({row.n},{row.k})" for row in rows],
+            {
+                "T^MmF": [row.t_macro_max_min for row in rows],
+                "T doom": [row.t_doom for row in rows],
+                "gain (measured)": [row.gain for row in rows],
+                "gain (paper)": [row.predicted_gain for row in rows],
+                "degraded flows": [
+                    f"{row.num_degraded}/{row.num_flows}" for row in rows
+                ],
+                "worst rate ratio": [row.min_rate_ratio for row in rows],
+            },
+        )
+    )
+
+
+def test_bench_r3_exact_upper_bound(benchmark):
+    rows = benchmark(exact_bound_check, 2, 6, range(4))
+
+    assert all(row.upper_bound_holds for row in rows)
+    print(
+        "\n[E5b] Theorem 5.4 upper bound T^T-MmF <= 2 T^MmF verified"
+        f" exactly (exhaustive search) on {len(rows)} random C_2 instances"
+    )

@@ -1,0 +1,62 @@
+"""E10 — §6 related work: sizing the middle stage to repair Theorem 4.2.
+
+Paper context: Theorem 4.2 proves the Figure 3 macro-switch rates are
+unroutable with m = n middle switches; the multirate-rearrangeability
+literature conjectures m = 2n − 1 always suffices (proven: ⌈20n/9⌉).
+
+Measured shape: the paper's own adversarial instance is repaired by a
+single extra middle switch (m* = n + 1 = 4 for n = 3), comfortably
+inside the conjecture; random macro-switch allocations usually need no
+extra switches at all — the worst case is genuinely adversarial.
+
+Run:  pytest benchmarks/test_bench_rearrangeability.py --benchmark-only -s
+"""
+
+from repro.analysis import format_table
+from repro.experiments.rearrangeability import (
+    random_allocation_repair,
+    theorem_4_2_repair,
+)
+
+
+def test_bench_e10_theorem_4_2(benchmark):
+    rows = benchmark(theorem_4_2_repair, (3,))
+
+    assert rows[0].exact_m == 4  # n + 1 repairs the paper's instance
+    assert rows[0].within_conjecture
+
+    print("\n[E10] minimum middle switches to carry the Theorem 4.2 rates")
+    print(
+        format_table(
+            ["instance", "flows", "exact m*", "heuristic m", "2n-1", "⌈20n/9⌉"],
+            [
+                [
+                    row.instance,
+                    row.num_flows,
+                    row.exact_m,
+                    row.heuristic_m,
+                    row.conjecture_m,
+                    row.proven_m,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e10_random(benchmark):
+    rows = benchmark(random_allocation_repair, 3, 15, range(4))
+
+    assert all(row.within_conjecture for row in rows)
+    assert all(row.heuristic_m >= row.exact_m for row in rows)
+
+    print("\n[E10b] minimum middle switches for random macro allocations")
+    print(
+        format_table(
+            ["instance", "flows", "exact m*", "heuristic m"],
+            [
+                [row.instance, row.num_flows, row.exact_m, row.heuristic_m]
+                for row in rows
+            ],
+        )
+    )

@@ -1,0 +1,56 @@
+"""E16 — splittability restores the macro-switch abstraction (§1's premise).
+
+Paper context: every impossibility result assumes unsplittable flows;
+§1 recalls that splittable flows make C_n equivalent to MS_n.
+
+Measured shape: splittable max-min rates equal the macro-switch rates
+to LP precision on random instances, and on the Theorem 4.3
+construction the type-3 flow — provably starved to 1/n by every
+unsplittable routing — recovers its full macro rate 1 when allowed to
+split.  Unsplittability is the sole culprit.
+
+Run:  pytest benchmarks/test_bench_splittable.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.experiments.splittable_equivalence import (
+    random_equivalence,
+    starvation_reversal,
+)
+
+
+def test_bench_e16_random_equivalence(benchmark):
+    rows = benchmark(random_equivalence, 2, 10, range(3))
+
+    assert all(row.equivalent for row in rows)
+    print("\n[E16] splittable C_n max-min vs macro-switch max-min")
+    print(
+        format_table(
+            ["instance", "flows", "worst |gap|", "equivalent"],
+            [
+                [row.instance, row.num_flows, f"{row.worst_gap:.2e}", row.equivalent]
+                for row in rows
+            ],
+        )
+    )
+
+
+def test_bench_e16_starvation_reversal(benchmark):
+    rows = benchmark(starvation_reversal, (3,))
+
+    row = rows[0]
+    assert row.splittable_rate == pytest.approx(1.0, abs=1e-6)
+    assert row.unsplittable_rate == pytest.approx(1 / 3)
+
+    print("\n[E16b] Theorem 4.3's type-3 flow: splitting undoes the starvation")
+    print(
+        format_table(
+            ["n", "macro rate", "best unsplittable (Thm 4.3)", "splittable"],
+            [
+                [row.n, row.macro_rate, row.unsplittable_rate, row.splittable_rate]
+                for row in rows
+            ],
+        )
+    )

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""§2.2 walkthrough: from protocol to the paper's idealization.
+
+The paper assumes congestion control instantly "imposes a max-min fair
+allocation of the link capacities among the flow rates".  This script
+shows a *distributed mechanism* earning that idealization: every link
+advertises a fair share, every flow takes the minimum share along its
+path, and within a handful of synchronous rounds the rates land exactly
+on the allocation our centralized water-filling oracle computes — on
+the paper's own adversarial constructions.
+
+Run:  python examples/convergence_demo.py
+"""
+
+from repro.analysis import format_table
+from repro.core.maxmin import max_min_fair
+from repro.dynamics import LinkFairShareDynamics
+from repro.workloads.adversarial import lemma_4_6_routing, theorem_4_3
+
+
+def main() -> None:
+    instance = theorem_4_3(3)
+    routing = lemma_4_6_routing(instance)
+    capacities = instance.clos.graph.capacities()
+
+    oracle = max_min_fair(routing, capacities, exact=False)
+    dynamics = LinkFairShareDynamics(routing, capacities)
+    trace = dynamics.run(record_history=True)
+
+    print(
+        f"Theorem 4.3 construction (n = 3, {len(instance.flows)} flows),"
+        f" Lemma 4.6 routing:\n"
+    )
+    # Show the water level rising round by round for three witness flows.
+    witnesses = [
+        ("type-1 flow", instance.types["type1"][0], "1/(n+1) = 0.25"),
+        ("type-2 flow", instance.types["type2a"][0], "1/n    = 0.333"),
+        ("type-3 flow", instance.types["type3"][0], "1/n    = 0.333"),
+    ]
+    rows = []
+    for round_index, snapshot in enumerate(trace.history):
+        rows.append(
+            [round_index]
+            + [round(snapshot[flow], 4) for _, flow, _ in witnesses]
+        )
+    print(
+        format_table(
+            ["round"] + [f"{label} (target {target})" for label, _, target in witnesses],
+            rows,
+        )
+    )
+
+    worst = max(abs(trace.rates[f] - oracle.rate(f)) for f in instance.flows)
+    print(
+        f"\nconverged in {trace.rounds} rounds;"
+        f" worst deviation from the water-filling oracle: {worst:.2e}"
+    )
+    print(
+        "\nThe idealized max-min model is not an abstraction gap: a simple"
+        "\ndistributed explicit-rate protocol reaches it, fast and exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

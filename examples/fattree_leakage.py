@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""§7 generality walkthrough: the paper's phenomena on a k-ary fat-tree.
+
+The paper proves its results for the 3-stage Clos network C_n, and §7
+notes that R1 holds "for every interconnection network connecting
+sources to destinations".  This script runs the library's generic
+machinery on a k = 4 fat-tree (the deployed folded-Clos fabric) and
+shows all three phenomena carrying over:
+
+1. the R1 bound T^MmF >= T^MT / 2 on the host macro abstraction;
+2. the R2 "leakage": under single-path ECMP, flows transfer their
+   bottlenecks onto interior links and fall below macro rates;
+3. the distributed fair-share dynamics converge to the water-filling
+   allocation unchanged (the machinery never looks at the topology).
+
+Run:  python examples/fattree_leakage.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.fattree_generality import (
+    dynamics_on_fat_tree,
+    r1_on_fat_tree,
+    r2_leakage_on_fat_tree,
+)
+
+
+def main() -> None:
+    print("R1 on the fat-tree macro abstraction (k = 4):\n")
+    rows = r1_on_fat_tree(k=4, num_flows=30, seeds=range(3))
+    print(
+        format_table(
+            ["workload", "T^MmF", "T^MT", "2*T^MmF >= T^MT"],
+            [
+                [row.workload, row.t_max_min, row.t_max_throughput, row.bound_holds]
+                for row in rows
+            ],
+        )
+    )
+    print(
+        "\nNote the embedded Figure 2 gadget: 10/9 vs 2 — the same"
+        "\nprice-of-fairness collapse as in the paper's macro-switch."
+    )
+
+    print("\nR2 leakage under ECMP inside the fat-tree:\n")
+    leakage = r2_leakage_on_fat_tree(k=4, num_flows=40, seeds=range(3))
+    print(
+        format_table(
+            ["seed", "flows below macro rate", "worst ratio", "interior-bottlenecked"],
+            [
+                [row.seed, f"{row.num_below_macro}/{row.num_flows}",
+                 row.min_ratio, row.interior_bottlenecked]
+                for row in leakage
+            ],
+        )
+    )
+
+    print("\ndistributed fair-share dynamics on the fat-tree:\n")
+    dyn = dynamics_on_fat_tree(k=4, num_flows=30, seeds=range(3))
+    print(
+        format_table(
+            ["seed", "rounds", "converged", "max error vs oracle"],
+            [
+                [row.seed, row.rounds, row.converged, f"{row.max_error:.1e}"]
+                for row in dyn
+            ],
+        )
+    )
+    print(
+        "\nThe impossibility results are not artifacts of the abstract C_n:"
+        "\nthe deployed fabric shows the same fairness/throughput tensions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""R1 walkthrough: how much throughput does max-min fairness cost?
+
+Reproduces Theorem 3.4's tight construction (Figure 2): two "good"
+flows that could each run at link capacity, plus k parasitic flows
+sharing both of their server links.  Congestion control (max-min
+fairness) admits everyone and drags the throughput toward half of what
+admission control (maximum matching) achieves.
+
+Run:  python examples/price_of_fairness.py
+"""
+
+from fractions import Fraction
+
+from repro import macro_switch_max_min, max_throughput_value
+from repro.analysis import format_series, price_of_fairness
+from repro.workloads.adversarial import theorem_3_4
+
+
+def main() -> None:
+    ks = [1, 2, 4, 8, 16, 32, 64, 128]
+    t_mt, t_mmf, ratio, lost = [], [], [], []
+    for k in ks:
+        instance = theorem_3_4(1, k)
+        mt = Fraction(max_throughput_value(instance.flows))
+        mmf = macro_switch_max_min(instance.macro, instance.flows).throughput()
+        t_mt.append(mt)
+        t_mmf.append(mmf)
+        ratio.append(mmf / mt)
+        lost.append(price_of_fairness(mmf, mt))
+
+    print(
+        format_series(
+            "k",
+            ks,
+            {
+                "T^MT (admission)": t_mt,
+                "T^MmF (congestion ctrl)": t_mmf,
+                "ratio": ratio,
+                "throughput lost": lost,
+            },
+            title="Theorem 3.4: price of fairness in a macro-switch",
+        )
+    )
+    print(
+        "\nThe ratio tends to 1/2 (the theorem's tight bound): with enough"
+        "\nparasitic flows, max-min fairness forfeits half the throughput"
+        "\nthat admission control would deliver."
+    )
+
+    # The flip side — Theorem 3.4's lower bound says it can never be
+    # worse than half, whatever the workload:
+    from repro.core.topology import ClosNetwork, MacroSwitch
+    from repro.workloads.stochastic import hotspot, uniform_random
+
+    clos, macro = ClosNetwork(3), MacroSwitch(3)
+    print("\nlower-bound check on stochastic workloads (must all be >= 1/2):")
+    for name, flows in (
+        ("uniform x40", uniform_random(clos, 40, seed=0)),
+        ("hotspot x40", hotspot(clos, 40, seed=0)),
+    ):
+        mmf = macro_switch_max_min(macro, flows).throughput()
+        mt = max_throughput_value(flows)
+        print(f"  {name}: T^MmF/T^MT = {mmf}/{mt} = {float(mmf/mt):.3f}")
+        assert 2 * mmf >= mt
+
+
+if __name__ == "__main__":
+    main()

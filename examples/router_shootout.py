@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""§6 walkthrough: ECMP vs congestion-aware routing vs the macro-switch.
+
+The extended version's simulation study, reproduced: on stochastic
+traffic, routers that use macro-switch rates as demands and assign flows
+to least-congested paths track the macro-switch allocation closely;
+ECMP's random placement lags; and on the paper's adversarial flows *no*
+router can win, because Theorem 4.3 says the target is unreachable.
+
+Run:  python examples/router_shootout.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.ecmp_simulation import (
+    adversarial_comparison,
+    stochastic_comparison,
+)
+
+
+def main() -> None:
+    print("stochastic workloads on C_3 (30 flows, 3 seeds, averaged):\n")
+    rows = stochastic_comparison(n=3, num_flows=30, seeds=range(3))
+
+    # average per (workload, router) across seeds
+    groups = {}
+    for row in rows:
+        key = (row.workload, row.router)
+        groups.setdefault(key, []).append(row)
+    table = []
+    for (workload, router), cells in sorted(groups.items()):
+        table.append(
+            [
+                workload,
+                router,
+                sum(float(c.throughput_fraction) for c in cells) / len(cells),
+                sum(float(c.min_rate_ratio) for c in cells) / len(cells),
+                sum(c.mean_rate_ratio for c in cells) / len(cells),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "workload",
+                "router",
+                "throughput vs macro",
+                "worst flow vs macro",
+                "mean flow vs macro",
+            ],
+            table,
+        )
+    )
+
+    print("\nadversarial workload (Theorem 4.3 flows, n = 3):\n")
+    adv = adversarial_comparison(n=3)
+    print(
+        format_table(
+            ["router", "throughput vs macro", "worst flow vs macro"],
+            [
+                [row.router, row.throughput_fraction, row.min_rate_ratio]
+                for row in adv
+            ],
+        )
+    )
+    print(
+        "\nGreedy and local-search routers essentially match the macro-switch"
+        "\non stochastic traffic (§6's positive finding) — but on the"
+        "\nadversarial instance every router leaves some flow far below its"
+        "\nmacro-switch rate, as Theorem 4.3 proves is unavoidable."
+    )
+
+
+if __name__ == "__main__":
+    main()

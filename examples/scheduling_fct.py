@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""§7 R1 walkthrough: trading fairness for flow completion time.
+
+The paper's conclusions suggest a way around R1's throughput loss:
+*scheduling* — delay some flows so the rest transmit at link capacity,
+like admission control in time.  This script runs the flow-level
+simulator on an incast burst and a Poisson workload and compares mean
+flow completion times under:
+
+- max-min fair congestion control (the data-center default),
+- maximum-matching scheduling with SRPT preference (the §7 proposal).
+
+Run:  python examples/scheduling_fct.py
+"""
+
+from repro.analysis import format_series, format_table
+from repro.experiments.fct_scheduling import incast_comparison, load_sweep
+
+
+def main() -> None:
+    fan_in = 8
+    rows = incast_comparison(n=2, fan_in=fan_in)
+    print(f"incast burst: {fan_in} unit-size flows into one server\n")
+    print(
+        format_table(
+            ["policy", "mean FCT", "median FCT", "p99 FCT"],
+            [
+                [row.policy, row.stats.mean_fct, row.stats.median_fct, row.stats.p99_fct]
+                for row in rows
+            ],
+        )
+    )
+    print(
+        f"\nClosed forms: fairness finishes ALL {fan_in} flows at t = {fan_in}"
+        f" (mean {fan_in}); scheduling finishes the i-th at t = i"
+        f" (mean {(fan_in + 1) / 2}).  The mean-FCT ratio tends to 2 —"
+        "\nthe flow-completion-time face of Theorem 3.4's factor-2 bound."
+    )
+
+    print("\nPoisson arrivals, mean FCT vs offered load:\n")
+    sweep = load_sweep(n=2, rates=(0.5, 1.0, 2.0, 4.0), horizon=40.0)
+    print(
+        format_series(
+            "arrival rate",
+            [row.rate for row in sweep],
+            {
+                "max-min FCT": [row.maxmin_mean_fct for row in sweep],
+                "scheduler FCT": [row.scheduler_mean_fct for row in sweep],
+                "speedup": [row.speedup for row in sweep],
+            },
+        )
+    )
+    print(
+        "\nThe scheduler's advantage grows with load: exactly when fairness"
+        "\nforfeits the most throughput, delaying flows pays off the most."
+    )
+
+
+if __name__ == "__main__":
+    main()

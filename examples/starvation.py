@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""R2 walkthrough: lex-max-min fairness starves a flow by a 1/n factor.
+
+Reproduces the Figure 3 construction (Theorems 4.2 and 4.3):
+
+1. shows that the macro-switch max-min rates are *infeasible* for every
+   unsplittable routing (exhaustive proof for n = 3), while the
+   splittable LP relaxation routes them trivially;
+2. builds the paper's lex-max-min optimal routing (Lemma 4.6) and shows
+   the lone type-3 flow collapsing from rate 1 to rate 1/n as the
+   network grows — fairness in the network is *not* fairness of the
+   macro-switch abstraction.
+
+Run:  python examples/starvation.py
+"""
+
+from repro import macro_switch_max_min, max_min_fair
+from repro.analysis import format_series
+from repro.lp import find_feasible_routing, splittable_feasible
+from repro.workloads.adversarial import lemma_4_6_routing, theorem_4_2, theorem_4_3
+
+
+def main() -> None:
+    # --- Part 1: the macro-switch rates cannot be routed (n = 3) -----
+    instance = theorem_4_2(3)
+    demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+    unsplittable = find_feasible_routing(instance.clos, instance.flows, demands)
+    splittable = splittable_feasible(instance.clos, instance.flows, demands)
+    print("Theorem 4.2 (n=3):")
+    print(f"  macro-switch max-min rates, {len(instance.flows)} flows")
+    print(f"  splittable routing exists:   {splittable}")
+    print(f"  unsplittable routing exists: {unsplittable is not None}")
+    assert splittable and unsplittable is None
+    print("  => unsplittability alone breaks the macro-switch abstraction\n")
+
+    # --- Part 2: lex-max-min starves the type-3 flow by 1/n ----------
+    sizes = [3, 4, 5, 6, 7]
+    macro_rate, lex_rate, factor = [], [], []
+    for n in sizes:
+        inst = theorem_4_3(n)
+        macro = macro_switch_max_min(inst.macro, inst.flows)
+        alloc = max_min_fair(
+            lemma_4_6_routing(inst), inst.clos.graph.capacities()
+        )
+        (type3,) = inst.types["type3"]
+        macro_rate.append(macro.rate(type3))
+        lex_rate.append(alloc.rate(type3))
+        factor.append(alloc.rate(type3) / macro.rate(type3))
+
+    print(
+        format_series(
+            "n",
+            sizes,
+            {
+                "macro rate of type-3 flow": macro_rate,
+                "lex-max-min rate": lex_rate,
+                "starvation factor": factor,
+            },
+            title="Theorem 4.3: the fairest routing still starves a flow",
+        )
+    )
+    print(
+        "\nThe type-3 flow shares no server links with anyone — in the"
+        "\nmacro-switch it runs at full rate.  Yet the lexicographically"
+        "\noptimal routing sacrifices it to 1/n, because upholding the many"
+        "\nsmall flows' rates pins the interior links it needs."
+    )
+
+
+if __name__ == "__main__":
+    main()

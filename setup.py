@@ -1,0 +1,18 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on offline
+machines whose setuptools cannot build wheels.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+    package_data={"repro": ["py.typed"]},
+)

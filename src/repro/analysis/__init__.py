@@ -1,0 +1,37 @@
+"""Metrics and reporting for the experiment harness."""
+
+from repro.analysis.distributions import (
+    empirical_cdf,
+    fraction_at_most,
+    percentile,
+    percentile_table,
+    text_histogram,
+)
+from repro.analysis.metrics import (
+    RateComparison,
+    compare_to_macro,
+    jain_fairness_index,
+    price_of_fairness,
+    relative_max_min_floor,
+    summarize_rates,
+    throughput_gain,
+)
+from repro.analysis.reporting import format_cell, format_series, format_table
+
+__all__ = [
+    "RateComparison",
+    "compare_to_macro",
+    "empirical_cdf",
+    "fraction_at_most",
+    "format_cell",
+    "format_series",
+    "format_table",
+    "jain_fairness_index",
+    "percentile",
+    "percentile_table",
+    "price_of_fairness",
+    "relative_max_min_floor",
+    "summarize_rates",
+    "text_histogram",
+    "throughput_gain",
+]

@@ -1,0 +1,98 @@
+"""Rate-distribution summaries: CDFs, percentiles, text histograms.
+
+The paper compares allocations by sorted vectors (exact, lexicographic);
+evaluation sections of systems papers usually present the same data as
+CDFs and percentile tables.  These helpers bridge the two views for the
+simulation experiments' reporting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.allocation import Allocation
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF as ``(value, fraction ≤ value)`` breakpoints.
+
+    >>> empirical_cdf([1.0, 1.0, 2.0])
+    [(1.0, 0.6666666666666666), (2.0, 1.0)]
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    total = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if index == total or ordered[index] != value:
+            points.append((value, index / total))
+    return points
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank, ``0 < q ≤ 100``).
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2
+    """
+    if not values:
+        raise ValueError("no values")
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def percentile_table(
+    allocation: Allocation, qs: Sequence[float] = (1, 10, 25, 50, 75, 90, 99)
+) -> Dict[float, float]:
+    """Rate percentiles of an allocation (floats)."""
+    values = [float(r) for r in allocation.rates().values()]
+    return {q: float(percentile(values, q)) for q in qs}
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """``P[X ≤ threshold]`` under the empirical distribution."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    return bisect.bisect_right(ordered, threshold) / len(ordered)
+
+
+def text_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """A fixed-width ASCII histogram (one line per bin).
+
+    >>> print(text_histogram([0.1, 0.1, 0.9], bins=2, width=4))
+    [0.100, 0.500)  ####  2
+    [0.500, 0.900]  ##    1
+    """
+    if not values:
+        raise ValueError("no values")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    low, high = min(values), max(values)
+    if low == high:
+        return f"[{low:.3f}]  {'#' * width}  {len(values)}"
+    span = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / span))
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        left = low + index * span
+        right = left + span
+        bracket = "]" if index == bins - 1 else ")"
+        bar = "#" * max(0, round(width * count / peak)) if count else ""
+        lines.append(
+            f"[{left:.3f}, {right:.3f}{bracket}  {bar.ljust(width)}  {count}"
+        )
+    return "\n".join(lines)

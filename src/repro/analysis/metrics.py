@@ -1,0 +1,116 @@
+"""Performance metrics connecting the paper's three results.
+
+- **Price of fairness** (R1, footnote 2): ``1 − T^MmF / T^MT`` — the
+  throughput fraction forfeited by max-min fairness.
+- **Rate ratios / starvation** (R2): per-flow ``network rate /
+  macro-switch rate``; the minimum ratio is the worst starvation and the
+  paper's relative-max-min-fairness discussion (§7) asks whether it can
+  be bounded below by a constant.
+- **Throughput gain** (R3): ``T(clos allocation) / T^MmF`` — how much
+  routing "perverts" fairness into throughput.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, NamedTuple
+
+from repro.core.allocation import Allocation, Rate
+from repro.core.flows import Flow
+
+
+def price_of_fairness(t_max_min: Rate, t_max_throughput: Rate) -> Rate:
+    """``1 − T^MmF / T^MT`` (0 when fairness costs nothing; ≤ 1/2 by Thm 3.4)."""
+    if t_max_throughput == 0:
+        return Fraction(0) if isinstance(t_max_min, Fraction) else 0.0
+    return 1 - t_max_min / t_max_throughput
+
+
+def throughput_gain(t_network: Rate, t_macro_max_min: Rate) -> Rate:
+    """``T(network) / T^MmF`` (≤ 2 by Theorem 5.4)."""
+    if t_macro_max_min == 0:
+        raise ValueError("macro-switch max-min throughput is zero")
+    return t_network / t_macro_max_min
+
+
+class RateComparison(NamedTuple):
+    """Per-flow comparison of a network allocation against the macro-switch."""
+
+    ratios: Dict[Flow, Rate]  # network rate / macro rate, per flow
+    min_ratio: Rate  # the worst-off flow's ratio (starvation factor)
+    max_ratio: Rate  # the best-off flow's ratio
+    num_degraded: int  # flows strictly below their macro rate
+    num_starved: int  # flows at ratio 0
+
+
+def compare_to_macro(
+    network_alloc: Allocation, macro_alloc: Allocation
+) -> RateComparison:
+    """Per-flow rate ratios of a Clos allocation vs. the macro-switch one.
+
+    Flows whose macro rate is zero are skipped in the ratio map (the
+    macro-switch max-min allocation never assigns zero to a flow with a
+    path, so this only triggers for degenerate inputs).
+    """
+    ratios: Dict[Flow, Rate] = {}
+    for flow in macro_alloc.flows():
+        macro_rate = macro_alloc.rate(flow)
+        if macro_rate == 0:
+            continue
+        ratios[flow] = network_alloc.rate(flow) / macro_rate
+    if not ratios:
+        raise ValueError("no comparable flows")
+    values = list(ratios.values())
+    return RateComparison(
+        ratios=ratios,
+        min_ratio=min(values),
+        max_ratio=max(values),
+        num_degraded=sum(1 for v in values if v < 1),
+        num_starved=sum(1 for v in values if v == 0),
+    )
+
+
+def relative_max_min_floor(comparison: RateComparison) -> Rate:
+    """The relative-max-min-fairness value of an allocation (§7, R2).
+
+    An allocation is *relative-max-min fair with floor α* when every
+    flow keeps at least an ``α`` fraction of its macro-switch rate; the
+    achieved floor is simply the minimum ratio.
+    """
+    return comparison.min_ratio
+
+
+def jain_fairness_index(allocation: Allocation) -> float:
+    """Jain's index ``(Σx)² / (n·Σx²)`` — 1.0 means perfectly equal rates.
+
+    A standard summary the simulation harness reports alongside the
+    paper's lexicographic comparisons (which are exact but not scalar).
+    """
+    values = [float(r) for r in allocation.rates().values()]
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+def summarize_rates(allocation: Allocation) -> Dict[str, float]:
+    """Scalar summary of an allocation: throughput, min/median/max rate, Jain."""
+    vector = [float(r) for r in allocation.sorted_vector()]
+    if not vector:
+        return {
+            "throughput": 0.0,
+            "min_rate": 0.0,
+            "median_rate": 0.0,
+            "max_rate": 0.0,
+            "jain": 1.0,
+        }
+    return {
+        "throughput": float(allocation.throughput()),
+        "min_rate": vector[0],
+        "median_rate": vector[len(vector) // 2],
+        "max_rate": vector[-1],
+        "jain": jain_fairness_index(allocation),
+    }

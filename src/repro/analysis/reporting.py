@@ -1,0 +1,65 @@
+"""Plain-text tables and series for the experiment harness.
+
+The benchmark suite regenerates the paper's figures as *series* (x
+values against one column per curve) and prints them with these helpers,
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+in a terminal and ``EXPERIMENTS.md`` can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, Fraction]
+
+
+def format_cell(value: Cell) -> str:
+    """Human-friendly rendering: Fractions as 'p/q (float)', floats rounded."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator} ({float(value):.4f})"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Cell],
+    columns: Dict[str, Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render a figure-style series: one x column plus one column per curve."""
+    headers = [x_name] + list(columns)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [columns[name][index] for name in columns])
+    return format_table(headers, rows, title=title)

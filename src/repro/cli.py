@@ -1,0 +1,457 @@
+"""Command-line driver: regenerate any experiment from a terminal.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run e1               # Figure 1 / Example 2.3 (e1..e14)
+    python -m repro run e2 --ks 1,2,4,8  # R1 sweep with custom k values
+    python -m repro run all              # everything (minutes)
+
+Each experiment prints the same measured-vs-paper table its benchmark
+target prints, so the CLI is the interactive face of the harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import format_series, format_table
+
+
+def _parse_ints(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+# ----------------------------------------------------------------------
+# Experiment runners (thin printing wrappers over repro.experiments)
+# ----------------------------------------------------------------------
+def run_e1(args: argparse.Namespace) -> None:
+    from repro.experiments.example_2_3 import run
+
+    result = run()
+    print(
+        format_table(
+            ["allocation", "sorted vector"],
+            [
+                ["macro-switch", [str(r) for r in result.macro_vector]],
+                ["routing A", [str(r) for r in result.routing_a_vector]],
+                ["routing B", [str(r) for r in result.routing_b_vector]],
+                ["lex optimum", [str(r) for r in result.lex_optimum_vector]],
+            ],
+            title="E1 — Figure 1 / Example 2.3",
+        )
+    )
+    print(f"matches paper: {result.matches_paper}")
+
+
+def run_e2(args: argparse.Namespace) -> None:
+    from repro.experiments.r1_price_of_fairness import sweep
+
+    ks = _parse_ints(args.ks) if args.ks else [1, 2, 4, 8, 16, 32, 64]
+    rows = sweep(ks)
+    print(
+        format_series(
+            "k",
+            [row.k for row in rows],
+            {
+                "T^MT": [row.t_max_throughput for row in rows],
+                "T^MmF": [row.t_max_min for row in rows],
+                "ratio": [row.ratio for row in rows],
+                "paper": [row.predicted_ratio for row in rows],
+            },
+            title="E2 — Theorem 3.4 price of fairness",
+        )
+    )
+
+
+def run_e3(args: argparse.Namespace) -> None:
+    from repro.experiments.r2_starvation import infeasibility_sweep
+
+    sizes = _parse_ints(args.sizes) if args.sizes else [3]
+    rows = infeasibility_sweep(sizes)
+    print(
+        format_table(
+            ["n", "flows", "splittable", "unsplittable"],
+            [
+                [
+                    row.n,
+                    row.num_flows,
+                    row.splittable_feasible,
+                    row.unsplittable_feasible,
+                ]
+                for row in rows
+            ],
+            title="E3 — Theorem 4.2 infeasibility",
+        )
+    )
+
+
+def run_e4(args: argparse.Namespace) -> None:
+    from repro.experiments.r2_starvation import starvation_sweep
+
+    sizes = _parse_ints(args.sizes) if args.sizes else [3, 4, 5, 6]
+    rows = starvation_sweep(sizes, check_local_optimality=False)
+    print(
+        format_series(
+            "n",
+            [row.n for row in rows],
+            {
+                "macro rate": [row.macro_type3_rate for row in rows],
+                "lex rate": [row.lex_type3_rate for row in rows],
+                "factor": [row.starvation_factor for row in rows],
+            },
+            title="E4 — Theorem 4.3 starvation",
+        )
+    )
+
+
+def run_e5(args: argparse.Namespace) -> None:
+    from repro.experiments.r3_doom_switch import sweep
+
+    rows = sweep()
+    print(
+        format_series(
+            "(n,k)",
+            [f"({row.n},{row.k})" for row in rows],
+            {
+                "T^MmF": [row.t_macro_max_min for row in rows],
+                "T doom": [row.t_doom for row in rows],
+                "gain": [row.gain for row in rows],
+                "paper": [row.predicted_gain for row in rows],
+            },
+            title="E5 — Theorem 5.4 Doom-Switch",
+        )
+    )
+
+
+def run_e6(args: argparse.Namespace) -> None:
+    from repro.experiments.ecmp_simulation import stochastic_comparison
+
+    rows = stochastic_comparison(n=args.n or 3, num_flows=30, seeds=range(3))
+    print(
+        format_table(
+            ["workload", "router", "seed", "throughput frac", "worst ratio"],
+            [
+                [
+                    row.workload,
+                    row.router,
+                    row.seed,
+                    row.throughput_fraction,
+                    row.min_rate_ratio,
+                ]
+                for row in rows
+            ],
+            title="E6 — §6 router simulation",
+        )
+    )
+
+
+def run_e7(args: argparse.Namespace) -> None:
+    from repro.experiments.konig_equivalence import equivalence_checks
+
+    rows = equivalence_checks()
+    print(
+        format_table(
+            ["workload", "T^MT", "T^T-MT", "equal"],
+            [[row.workload, row.t_mt_macro, row.t_mt_clos, row.equal] for row in rows],
+            title="E7 — Lemma 5.2 equivalence",
+        )
+    )
+
+
+def run_e8(args: argparse.Namespace) -> None:
+    from repro.experiments.fct_scheduling import incast_comparison, load_sweep
+
+    rows = incast_comparison(fan_in=8)
+    print(
+        format_table(
+            ["policy", "mean FCT", "p99 FCT"],
+            [[row.policy, row.stats.mean_fct, row.stats.p99_fct] for row in rows],
+            title="E8 — §7 scheduling vs congestion control (incast)",
+        )
+    )
+    sweep_rows = load_sweep(rates=(0.5, 1.5, 3.0))
+    print(
+        format_series(
+            "load",
+            [row.rate for row in sweep_rows],
+            {
+                "max-min FCT": [row.maxmin_mean_fct for row in sweep_rows],
+                "scheduler FCT": [row.scheduler_mean_fct for row in sweep_rows],
+                "speedup": [row.speedup for row in sweep_rows],
+            },
+        )
+    )
+
+
+def run_e9(args: argparse.Namespace) -> None:
+    from repro.experiments.relative_fairness import (
+        exact_objective_comparison,
+        theorem_4_3_floor_probe,
+    )
+
+    rows = exact_objective_comparison()
+    print(
+        format_table(
+            ["instance", "lex floor", "throughput floor", "relative floor"],
+            [
+                [row.instance, row.lex_floor, row.throughput_floor, row.relative_floor]
+                for row in rows
+            ],
+            title="E9 — §7 relative-max-min fairness",
+        )
+    )
+    probe = theorem_4_3_floor_probe(sizes=(3,))
+    print(
+        format_table(
+            ["n", "lex floor", "relative floor (local search)"],
+            [[row.n, row.lex_floor, row.relative_local_floor] for row in probe],
+        )
+    )
+
+
+def run_e11(args: argparse.Namespace) -> None:
+    from repro.experiments.convergence import paper_instances
+
+    rows = paper_instances()
+    print(
+        format_table(
+            ["instance", "flows", "levels", "rounds", "max error"],
+            [
+                [row.instance, row.num_flows, row.distinct_levels, row.rounds,
+                 f"{row.max_error:.1e}"]
+                for row in rows
+            ],
+            title="E11 — distributed convergence to max-min fairness",
+        )
+    )
+
+
+def run_e12(args: argparse.Namespace) -> None:
+    from repro.experiments.fattree_generality import (
+        r1_on_fat_tree,
+        r2_leakage_on_fat_tree,
+    )
+
+    rows = r1_on_fat_tree()
+    print(
+        format_table(
+            ["workload", "T^MmF", "T^MT", "bound holds"],
+            [[row.workload, row.t_max_min, row.t_max_throughput, row.bound_holds]
+             for row in rows],
+            title="E12 — R1 on the k-ary fat-tree",
+        )
+    )
+    leak = r2_leakage_on_fat_tree()
+    print(
+        format_table(
+            ["seed", "below macro", "worst ratio", "interior-bottlenecked"],
+            [[row.seed, f"{row.num_below_macro}/{row.num_flows}",
+              row.min_ratio, row.interior_bottlenecked] for row in leak],
+        )
+    )
+
+
+def run_e13(args: argparse.Namespace) -> None:
+    from repro.experiments.planted_gadgets import planted_starvation
+
+    rows = planted_starvation()
+    print(
+        format_table(
+            ["router", "background", "type-3 rate", "ratio"],
+            [[row.router, row.num_background, row.network_rate, row.ratio]
+             for row in rows],
+            title="E13 — Theorem 4.3 gadget in background traffic",
+        )
+    )
+
+
+def run_e14(args: argparse.Namespace) -> None:
+    from repro.experiments.failure_degradation import middle_failure_sweep
+
+    rows = middle_failure_sweep()
+    print(
+        format_table(
+            ["failed", "pinned T", "pinned min", "rerouted T", "rerouted min"],
+            [[row.failed_middles, row.pinned_throughput, row.pinned_min_rate,
+              row.rerouted_throughput, row.rerouted_min_rate] for row in rows],
+            title="E14 — middle-switch failure degradation",
+        )
+    )
+
+
+def run_e15(args: argparse.Namespace) -> None:
+    from repro.experiments.oversubscription import sweep
+
+    rows = sweep()
+    print(
+        format_table(
+            ["c", "oversub", "T^MT", "T Clos", "Lemma 5.2", "tput frac", "worst ratio"],
+            [
+                [
+                    row.interior_capacity,
+                    row.oversubscription,
+                    row.t_mt_macro,
+                    row.t_clos_lp,
+                    row.lemma_5_2_equality,
+                    row.throughput_fraction,
+                    row.min_rate_ratio,
+                ]
+                for row in rows
+            ],
+            title="E15 — oversubscription: breaking full bisection",
+        )
+    )
+
+
+def run_e16(args: argparse.Namespace) -> None:
+    from repro.experiments.splittable_equivalence import (
+        random_equivalence,
+        starvation_reversal,
+    )
+
+    rows = random_equivalence()
+    print(
+        format_table(
+            ["instance", "worst |gap|", "equivalent"],
+            [[row.instance, f"{row.worst_gap:.2e}", row.equivalent] for row in rows],
+            title="E16 — splittable C_n max-min vs macro-switch",
+        )
+    )
+    reversal = starvation_reversal()
+    print(
+        format_table(
+            ["n", "macro", "unsplittable (Thm 4.3)", "splittable"],
+            [
+                [row.n, row.macro_rate, row.unsplittable_rate, row.splittable_rate]
+                for row in reversal
+            ],
+        )
+    )
+
+
+def run_e10(args: argparse.Namespace) -> None:
+    from repro.experiments.rearrangeability import theorem_4_2_repair
+
+    rows = theorem_4_2_repair()
+    print(
+        format_table(
+            ["instance", "exact m*", "heuristic m", "2n-1", "⌈20n/9⌉"],
+            [
+                [row.instance, row.exact_m, row.heuristic_m, row.conjecture_m, row.proven_m]
+                for row in rows
+            ],
+            title="E10 — middle switches needed to repair Theorem 4.2",
+        )
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "e1": run_e1,
+    "e2": run_e2,
+    "e3": run_e3,
+    "e4": run_e4,
+    "e5": run_e5,
+    "e6": run_e6,
+    "e7": run_e7,
+    "e8": run_e8,
+    "e9": run_e9,
+    "e10": run_e10,
+    "e11": run_e11,
+    "e12": run_e12,
+    "e13": run_e13,
+    "e14": run_e14,
+    "e15": run_e15,
+    "e16": run_e16,
+}
+
+DESCRIPTIONS: Dict[str, str] = {
+    "e1": "Figure 1 / Example 2.3 — routing sensitivity in C_2",
+    "e2": "Figure 2 / Theorem 3.4 (R1) — price of fairness",
+    "e3": "Figure 3 / Theorem 4.2 — macro rates unroutable",
+    "e4": "Figure 3 / Theorem 4.3 (R2) — 1/n starvation",
+    "e5": "Figure 4 / Theorem 5.4 (R3) — Doom-Switch",
+    "e6": "§6 — ECMP vs congestion-aware routers",
+    "e7": "Lemma 5.2 — König throughput equivalence",
+    "e8": "§7 R1 — scheduling vs congestion control (FCT)",
+    "e9": "§7 R2 — relative-max-min fairness",
+    "e10": "§6 related work — multirate rearrangeability",
+    "e11": "§2.2 — distributed convergence to max-min fairness",
+    "e12": "§7 — the paper's phenomena on k-ary fat-trees",
+    "e13": "extension — adversarial gadgets in background traffic",
+    "e14": "extension — middle-switch failure degradation",
+    "e15": "extension — oversubscription (breaking full bisection)",
+    "e16": "§1 premise — splittability restores the macro-switch",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's experiments from the terminal.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    report = sub.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report.add_argument(
+        "-o", "--output", default="REPORT.md", help="output path"
+    )
+    report.add_argument(
+        "--only", help="comma-separated experiment ids (default: all)"
+    )
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="e1..e10 or 'all'")
+    run.add_argument("--ks", help="comma-separated k values (e2)")
+    run.add_argument("--sizes", help="comma-separated network sizes (e3/e4)")
+    run.add_argument("--n", type=int, help="network size (e6)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        print(
+            format_table(
+                ["id", "experiment"],
+                [[key, DESCRIPTIONS[key]] for key in EXPERIMENTS],
+                title="available experiments (python -m repro run <id>)",
+            )
+        )
+        return 0
+
+    if args.command == "report":
+        from repro.report import write_report
+
+        ids = args.only.split(",") if args.only else None
+        path = write_report(args.output, ids)
+        print(f"wrote {path}")
+        return 0
+
+    if args.command == "run":
+        name = args.experiment.lower()
+        if name == "all":
+            for key, runner in EXPERIMENTS.items():
+                runner(args)
+                print()
+            return 0
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment: {name!r} (try 'list')", file=sys.stderr)
+            return 2
+        EXPERIMENTS[name](args)
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""König edge coloring — the routing engine behind Lemma 5.2 and Algorithm 1."""
+
+from repro.coloring.konig import (
+    ColoringError,
+    color_classes,
+    edge_coloring,
+    is_proper_coloring,
+)
+
+__all__ = [
+    "ColoringError",
+    "color_classes",
+    "edge_coloring",
+    "is_proper_coloring",
+]

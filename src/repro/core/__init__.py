@@ -1,0 +1,93 @@
+"""The paper's core objects: topologies, flows, routings, allocations, fairness."""
+
+from repro.core.allocation import (
+    Allocation,
+    is_feasible,
+    lex_compare,
+    lex_greater_or_equal,
+    link_utilizations,
+)
+from repro.core.bottleneck import (
+    bottleneck_links,
+    certify_max_min_fair,
+    flows_without_bottleneck,
+    is_max_min_fair,
+    link_loads,
+)
+from repro.core.doom_switch import DoomSwitchResult, doom_switch, doom_switch_routing
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import UnboundedRateError, max_min_fair, max_min_fair_for_network
+from repro.core.nodes import (
+    ClosNode,
+    Destination,
+    InputSwitch,
+    MiddleSwitch,
+    OutputSwitch,
+    Source,
+)
+from repro.core.objectives import (
+    OptimalAllocation,
+    lex_max_min_fair,
+    macro_switch_max_min,
+    throughput_max_min_fair,
+)
+from repro.core.relative import (
+    RelativeAllocation,
+    improve_routing_relative,
+    ratio_vector,
+    relative_max_min_fair,
+)
+from repro.core.routing import Routing, all_middle_assignments
+from repro.core.throughput import (
+    link_disjoint_routing,
+    max_throughput_allocation,
+    max_throughput_value,
+    maximum_throughput_matching,
+    throughput_max_throughput,
+)
+from repro.core.topology import ClosNetwork, MacroSwitch, Path
+
+__all__ = [
+    "Allocation",
+    "ClosNetwork",
+    "ClosNode",
+    "Destination",
+    "DoomSwitchResult",
+    "Flow",
+    "FlowCollection",
+    "InputSwitch",
+    "MacroSwitch",
+    "MiddleSwitch",
+    "OptimalAllocation",
+    "OutputSwitch",
+    "Path",
+    "RelativeAllocation",
+    "Routing",
+    "Source",
+    "UnboundedRateError",
+    "all_middle_assignments",
+    "bottleneck_links",
+    "certify_max_min_fair",
+    "doom_switch",
+    "doom_switch_routing",
+    "flows_without_bottleneck",
+    "is_feasible",
+    "is_max_min_fair",
+    "lex_compare",
+    "lex_greater_or_equal",
+    "lex_max_min_fair",
+    "link_disjoint_routing",
+    "link_loads",
+    "link_utilizations",
+    "improve_routing_relative",
+    "macro_switch_max_min",
+    "max_min_fair",
+    "max_min_fair_for_network",
+    "max_throughput_allocation",
+    "max_throughput_value",
+    "maximum_throughput_matching",
+    "ratio_vector",
+    "relative_max_min_fair",
+    "throughput_max_min_fair",
+    "throughput_max_throughput",
+]

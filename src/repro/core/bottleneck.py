@@ -1,0 +1,126 @@
+"""The bottleneck property — certifying max-min fairness (Lemma 2.2).
+
+A link is a *bottleneck* for a flow crossing it when (1) the link is
+saturated, and (2) the flow's rate is maximum among all flows crossing
+the link.  Lemma 2.2 (Bertsekas & Gallager): a feasible allocation is
+max-min fair **iff every flow has a bottleneck link**.
+
+This gives an independent certificate for the water-filling output, and
+is the verification route the paper itself uses ("the proof follows from
+the routine application of the bottleneck property", Lemmas 4.4/4.6) —
+so our theorem tests certify the paper's posited allocations exactly the
+way the proofs do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.allocation import Allocation, Rate, is_feasible
+from repro.core.flows import Flow
+from repro.core.routing import Link, Routing
+
+_INF = float("inf")
+
+
+def _bump(value: Rate, tol: float) -> Rate:
+    """``value + tol`` without coercing exact rates to float when ``tol == 0``."""
+    return value + tol if tol else value
+
+
+def link_loads(routing: Routing, allocation: Allocation) -> Dict[Link, Rate]:
+    """Total allocated rate per traversed link."""
+    loads: Dict[Link, Rate] = {}
+    for flow in routing.flows():
+        rate = allocation.rate(flow)
+        for link in routing.links_of(flow):
+            loads[link] = loads.get(link, 0) + rate
+    return loads
+
+
+def bottleneck_links(
+    routing: Routing,
+    allocation: Allocation,
+    capacities: Mapping[Link, Rate],
+    flow: Flow,
+    tol: float = 0.0,
+) -> List[Link]:
+    """All bottleneck links of ``flow`` under the allocation.
+
+    A link ``(u, v)`` on the flow's path qualifies when the total rate
+    across it equals the capacity (within ``tol``) and the flow's rate is
+    maximal among the flows crossing it (within ``tol``).
+    """
+    loads = link_loads(routing, allocation)
+    members = routing.flows_per_link()
+    rate = allocation.rate(flow)
+    result: List[Link] = []
+    for link in routing.links_of(flow):
+        capacity = capacities[link]
+        if capacity == _INF:
+            continue
+        if abs(loads[link] - capacity) > tol:
+            continue
+        if all(allocation.rate(g) <= _bump(rate, tol) for g in members[link]):
+            result.append(link)
+    return result
+
+
+def flows_without_bottleneck(
+    routing: Routing,
+    allocation: Allocation,
+    capacities: Mapping[Link, Rate],
+    tol: float = 0.0,
+) -> List[Flow]:
+    """Flows that have **no** bottleneck link (empty iff max-min fair)."""
+    loads = link_loads(routing, allocation)
+    members = routing.flows_per_link()
+    missing: List[Flow] = []
+    for flow in routing.flows():
+        rate = allocation.rate(flow)
+        has_bottleneck = False
+        for link in routing.links_of(flow):
+            capacity = capacities[link]
+            if capacity == _INF:
+                continue
+            if abs(loads[link] - capacity) > tol:
+                continue
+            if all(allocation.rate(g) <= _bump(rate, tol) for g in members[link]):
+                has_bottleneck = True
+                break
+        if not has_bottleneck:
+            missing.append(flow)
+    return missing
+
+
+def is_max_min_fair(
+    routing: Routing,
+    allocation: Allocation,
+    capacities: Mapping[Link, Rate],
+    tol: float = 0.0,
+) -> bool:
+    """Lemma 2.2 check: feasible and every flow has a bottleneck link."""
+    if not is_feasible(routing, allocation, capacities, tol=tol):
+        return False
+    return not flows_without_bottleneck(routing, allocation, capacities, tol=tol)
+
+
+def certify_max_min_fair(
+    routing: Routing,
+    allocation: Allocation,
+    capacities: Mapping[Link, Rate],
+    tol: float = 0.0,
+) -> Optional[str]:
+    """Return ``None`` if max-min fair, else a human-readable defect report."""
+    if not is_feasible(routing, allocation, capacities, tol=tol):
+        loads = link_loads(routing, allocation)
+        violated = [
+            (link, loads[link], capacities[link])
+            for link in loads
+            if capacities[link] != _INF and loads[link] > _bump(capacities[link], tol)
+        ]
+        return f"infeasible allocation; overloaded links: {violated!r}"
+    missing = flows_without_bottleneck(routing, allocation, capacities, tol=tol)
+    if missing:
+        return f"flows without a bottleneck link: {missing!r}"
+    return None

@@ -1,0 +1,121 @@
+"""The Doom-Switch algorithm (Algorithm 1, §5).
+
+Doom-Switch approximates a throughput-max-min fair allocation:
+
+1. Compute a maximum matching ``F' ⊆ F`` of the macro-switch demand
+   multigraph ``G^MS``.
+2. ``n``-color the Clos demand multigraph ``G^C`` restricted to ``F'``
+   (König), and route the flows of color ``m`` through middle switch
+   ``M_m`` — a link-disjoint routing of the matching.
+3. Route every remaining flow ``F \\ F'`` through the middle switch whose
+   color class is smallest — the "doom switch" onto which the sacrificed
+   flows are crowded.
+
+Under the max-min fair allocation of the resulting routing, the doomed
+flows starve on the doom switch's links while the matched flows rise
+toward link capacity, pushing the throughput toward ``2·T^MmF``
+(Theorem 5.4) — at the cost of the doomed flows' rates.
+
+``dump_policy`` exposes the line-3 choice for ablation: ``"least"`` is
+the paper's rule; ``"most"`` and ``"round_robin"`` are deliberately
+worse/naive alternatives benchmarked in the ablation suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+from repro.coloring.konig import edge_coloring
+from repro.core.allocation import Allocation
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.matching.hopcroft_karp import maximum_matching
+
+
+class DoomSwitchResult(NamedTuple):
+    """Everything Algorithm 1 produces, for inspection and analysis."""
+
+    routing: Routing
+    allocation: Allocation
+    #: Flows of the maximum matching F' (routed link-disjointly, rate → high).
+    matched: FlowCollection
+    #: Flows dumped on the doom switch (rates sacrificed).
+    doomed: FlowCollection
+    #: 1-based index of the doom middle switch m'.
+    doom_switch: int
+
+
+def doom_switch_routing(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    dump_policy: str = "least",
+) -> Routing:
+    """The routing produced by Algorithm 1 (without the allocation)."""
+    return _run(network, flows, dump_policy).routing
+
+
+def doom_switch(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    exact: bool = True,
+    dump_policy: str = "least",
+) -> DoomSwitchResult:
+    """Run Algorithm 1 and compute the max-min fair allocation it induces.
+
+    >>> from repro.workloads.adversarial import theorem_5_4  # doctest: +SKIP
+    """
+    result = _run(network, flows, dump_policy)
+    allocation = max_min_fair(
+        result.routing, network.graph.capacities(), exact=exact
+    )
+    return DoomSwitchResult(
+        result.routing, allocation, result.matched, result.doomed, result.doom_switch
+    )
+
+
+def _run(
+    network: ClosNetwork, flows: FlowCollection, dump_policy: str
+) -> DoomSwitchResult:
+    n = network.num_middles
+
+    # Line 1: maximum matching F' in G^MS.
+    matched_map = maximum_matching(flows.demand_graph_ms())
+    matched = FlowCollection(f for f in flows if f in matched_map)
+
+    # Line 2: n-coloring of G^C restricted to F'; color m-1 → middle M_m.
+    colors = edge_coloring(matched.demand_graph_clos(), num_colors=n)
+    middles: Dict[Flow, int] = {f: c + 1 for f, c in colors.items()}
+
+    # Line 3: pick the doom switch m' and dump F \ F' on it.
+    class_sizes = {m: 0 for m in range(1, n + 1)}
+    for m in middles.values():
+        class_sizes[m] += 1
+    if dump_policy == "least":
+        doom = min(class_sizes, key=lambda m: (class_sizes[m], m))
+    elif dump_policy == "most":
+        doom = max(class_sizes, key=lambda m: (class_sizes[m], -m))
+    elif dump_policy == "round_robin":
+        doom = 0  # per-flow assignment below
+    else:
+        raise ValueError(f"unknown dump_policy: {dump_policy!r}")
+
+    doomed_flows = [f for f in flows if f not in matched_map]
+    if dump_policy == "round_robin":
+        for index, flow in enumerate(doomed_flows):
+            middles[flow] = (index % n) + 1
+        doom_report = 0
+    else:
+        for flow in doomed_flows:
+            middles[flow] = doom
+        doom_report = doom
+
+    routing = Routing.from_middles(network, flows, middles)
+    return DoomSwitchResult(
+        routing,
+        Allocation({}),  # filled in by doom_switch()
+        matched,
+        FlowCollection(doomed_flows),
+        doom_report,
+    )

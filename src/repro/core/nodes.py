@@ -1,0 +1,76 @@
+"""Typed node identifiers for Clos networks and macro-switches.
+
+The paper (§2.1) names the nodes of the Clos network of size ``n``:
+
+- input ToR switches ``I_i`` and output ToR switches ``O_i``, ``i ∈ [2n]``,
+- middle switches ``M_m``, ``m ∈ [n]``,
+- source servers ``s_i^j`` and destination servers ``t_i^j``,
+  ``i ∈ [2n]``, ``j ∈ [n]``.
+
+We follow the paper's 1-based indexing throughout.  Each node type is a
+``NamedTuple`` whose *last* field is a fixed kind discriminator, so that
+e.g. ``Source(1, 1) != Destination(1, 1)`` even though both are tuples of
+the same integers.  All node types are hashable and cheap, which matters
+because they key every dictionary in the hot loops of the water-filling
+algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+
+class InputSwitch(NamedTuple):
+    """Input ToR switch ``I_i``."""
+
+    index: int
+    kind: str = "I"
+
+    def __repr__(self) -> str:
+        return f"I{self.index}"
+
+
+class OutputSwitch(NamedTuple):
+    """Output ToR switch ``O_i``."""
+
+    index: int
+    kind: str = "O"
+
+    def __repr__(self) -> str:
+        return f"O{self.index}"
+
+
+class MiddleSwitch(NamedTuple):
+    """Middle switch ``M_m``."""
+
+    index: int
+    kind: str = "M"
+
+    def __repr__(self) -> str:
+        return f"M{self.index}"
+
+
+class Source(NamedTuple):
+    """Source server ``s_i^j``: the ``j``-th server of input switch ``I_i``."""
+
+    switch: int
+    server: int
+    kind: str = "s"
+
+    def __repr__(self) -> str:
+        return f"s{self.switch}^{self.server}"
+
+
+class Destination(NamedTuple):
+    """Destination server ``t_i^j``: the ``j``-th server of output switch ``O_i``."""
+
+    switch: int
+    server: int
+    kind: str = "t"
+
+    def __repr__(self) -> str:
+        return f"t{self.switch}^{self.server}"
+
+
+#: Any node of a Clos network or macro-switch.
+ClosNode = Union[InputSwitch, OutputSwitch, MiddleSwitch, Source, Destination]

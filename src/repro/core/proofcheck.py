@@ -1,0 +1,157 @@
+"""Step-level verification of the paper's proof chains.
+
+The theorem tests elsewhere check *conclusions* (rates, bounds).  This
+module instruments the *proofs*: it computes every intermediate quantity
+a proof manipulates and checks each inequality link separately, so a
+regression pinpoints the exact step that broke — and so the library
+doubles as an executable companion to the paper's §3–§5.
+
+Currently instrumented:
+
+- :func:`theorem_3_4_chain` — the §3 argument:
+  ``T^MmF ≥ max(Σ τ_{s_f}, Σ τ_{t_f}) ≥ ½ Σ (τ_{s_f} + τ_{t_f}) ≥ ½|F'| = ½ T^MT``
+  with ``τ_s``/``τ_t`` the per-source/per-destination max-min rate
+  totals and ``F'`` a maximum matching of ``G^MS``.
+- :func:`theorem_5_4_chain` — the §5 upper-bound chain:
+  ``T(a) ≤ T^{T-MT} = T^MT ≤ 2 T^MmF`` for any per-routing max-min
+  allocation ``a`` in the Clos network.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, NamedTuple
+
+from repro.core.allocation import Allocation
+from repro.core.bottleneck import bottleneck_links
+from repro.core.flows import Flow, FlowCollection
+from repro.core.nodes import Destination, Source
+from repro.core.objectives import macro_switch_max_min
+from repro.core.routing import Routing
+from repro.core.throughput import max_throughput_value, maximum_throughput_matching
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+
+class Theorem34Chain(NamedTuple):
+    """Every quantity in the §3 lower-bound argument, measured."""
+
+    t_max_min: Fraction  # T^MmF
+    t_max_throughput: int  # T^MT = |F'|
+    tau_source: Dict[Source, Fraction]  # τ_s per source
+    tau_dest: Dict[Destination, Fraction]  # τ_t per destination
+    matched_flows: List[Flow]  # F'
+    sum_tau_source_matched: Fraction  # Σ_{f∈F'} τ_{s_f}
+    sum_tau_dest_matched: Fraction  # Σ_{f∈F'} τ_{t_f}
+    #: per matched flow f: τ_{s_f} + τ_{t_f} (each must be ≥ 1)
+    matched_pair_totals: Dict[Flow, Fraction]
+    #: every link of the chain, as named booleans
+    step_flow_conservation: bool  # T^MmF = Σ_s τ_s = Σ_t τ_t
+    step_matching_subsums: bool  # Σ_s τ_s ≥ Σ_{F'} τ_{s_f} (and dest side)
+    step_bottleneck_pairs: bool  # τ_{s_f} + τ_{t_f} ≥ 1 for all f ∈ F'
+    step_final_bound: bool  # T^MmF ≥ |F'| / 2
+    all_steps_hold: bool
+
+
+def theorem_3_4_chain(
+    network: MacroSwitch, flows: FlowCollection
+) -> Theorem34Chain:
+    """Instrument the §3 proof on an arbitrary macro-switch instance.
+
+    Also re-derives the bottleneck fact the proof cites: every matched
+    flow is bottlenecked on its source or destination server link.
+    """
+    allocation = macro_switch_max_min(network, flows)
+    routing = Routing.for_macro_switch(network, flows)
+    capacities = network.graph.capacities()
+
+    tau_source: Dict[Source, Fraction] = {}
+    tau_dest: Dict[Destination, Fraction] = {}
+    for flow in flows:
+        rate = allocation.rate(flow)
+        tau_source[flow.source] = tau_source.get(flow.source, Fraction(0)) + rate
+        tau_dest[flow.dest] = tau_dest.get(flow.dest, Fraction(0)) + rate
+
+    t_mmf = allocation.throughput()
+    step_conservation = (
+        t_mmf == sum(tau_source.values()) == sum(tau_dest.values())
+    )
+
+    matched = list(maximum_throughput_matching(flows))
+    t_mt = len(matched)
+
+    sum_src = sum((tau_source[f.source] for f in matched), Fraction(0))
+    sum_dst = sum((tau_dest[f.dest] for f in matched), Fraction(0))
+    # F' uses each source (destination) at most once, so the matched
+    # subsums cannot exceed the full sums.
+    step_subsums = (
+        sum(tau_source.values()) >= sum_src
+        and sum(tau_dest.values()) >= sum_dst
+    )
+
+    pair_totals: Dict[Flow, Fraction] = {}
+    step_pairs = True
+    for flow in matched:
+        total = tau_source[flow.source] + tau_dest[flow.dest]
+        pair_totals[flow] = total
+        if total < 1:
+            step_pairs = False
+        # the cited bottleneck fact: a server link of f is saturated
+        links = bottleneck_links(routing, allocation, capacities, flow)
+        if not links:
+            step_pairs = False
+
+    step_final = 2 * t_mmf >= t_mt
+
+    return Theorem34Chain(
+        t_max_min=t_mmf,
+        t_max_throughput=t_mt,
+        tau_source=tau_source,
+        tau_dest=tau_dest,
+        matched_flows=matched,
+        sum_tau_source_matched=sum_src,
+        sum_tau_dest_matched=sum_dst,
+        matched_pair_totals=pair_totals,
+        step_flow_conservation=step_conservation,
+        step_matching_subsums=step_subsums,
+        step_bottleneck_pairs=step_pairs,
+        step_final_bound=step_final,
+        all_steps_hold=(
+            step_conservation and step_subsums and step_pairs and step_final
+        ),
+    )
+
+
+class Theorem54Chain(NamedTuple):
+    """The §5 upper-bound chain for one Clos allocation."""
+
+    t_allocation: Fraction  # T(a) for the given routing's max-min a
+    t_max_throughput: int  # T^MT = T^{T-MT} (Lemma 5.2)
+    t_macro_max_min: Fraction  # T^MmF
+    step_allocation_below_mt: bool  # T(a) ≤ T^MT
+    step_mt_below_twice_mmf: bool  # T^MT ≤ 2 T^MmF
+    step_conclusion: bool  # T(a) ≤ 2 T^MmF
+    all_steps_hold: bool
+
+
+def theorem_5_4_chain(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    allocation: Allocation,
+) -> Theorem54Chain:
+    """Instrument the §5 chain for any feasible Clos allocation."""
+    t_a = allocation.throughput()
+    t_mt = max_throughput_value(flows)
+    macro = macro_switch_max_min(MacroSwitch(network.n), flows)
+    t_mmf = macro.throughput()
+    step_a = t_a <= t_mt
+    step_b = t_mt <= 2 * t_mmf
+    step_c = t_a <= 2 * t_mmf
+    return Theorem54Chain(
+        t_allocation=t_a,
+        t_max_throughput=t_mt,
+        t_macro_max_min=t_mmf,
+        step_allocation_below_mt=step_a,
+        step_mt_below_twice_mmf=step_b,
+        step_conclusion=step_c,
+        all_steps_hold=step_a and step_b and step_c,
+    )

@@ -1,0 +1,170 @@
+"""Relative-max-min fairness (§7, the R2 discussion's open question).
+
+Theorem 4.3 shows lex-max-min fairness can starve a flow to a ``1/n``
+fraction of its macro-switch rate.  The conclusions propose an
+alternative routing objective — **relative-max-min fairness** — "which
+aims at ensuring that the network rate of each flow is at least some
+constant fraction of its macro-switch rate", and poses as an open
+question whether it can closely implement the macro-switch abstraction.
+
+This module makes the objective precise and computable:
+
+Given a collection of flows with macro-switch max-min rates ``m(f)``,
+the *ratio vector* of a routing's max-min allocation ``a`` is the vector
+of ``a(f) / m(f)`` sorted ascending.  A **relative-max-min fair
+allocation** maximizes the ratio vector in lexicographic order over all
+routings (its first component — the floor — is the guaranteed constant
+fraction; maximizing lexicographically refines ties the same way
+max-min refines min-rate).
+
+Solvers mirror :mod:`repro.core.objectives`: an exact exponential
+enumeration for small instances, and single-flow-move local search for
+larger ones.  The experiment in
+:mod:`repro.experiments.relative_fairness` uses both to probe the open
+question on the paper's own adversarial instances.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.core.allocation import Allocation, Rate, lex_compare
+from repro.core.flows import FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import macro_switch_max_min
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.search.enumeration import enumerate_routings
+
+
+class RelativeAllocation(NamedTuple):
+    """A routing, its max-min allocation, and the relative-fairness data."""
+
+    routing: Routing
+    allocation: Allocation
+    #: a(f)/m(f) sorted ascending; component 0 is the floor.
+    ratio_vector: List[Rate]
+    #: The guaranteed fraction: min over flows of a(f)/m(f).
+    floor: Rate
+    #: Number of routings examined.
+    examined: int
+
+
+def ratio_vector(
+    allocation: Allocation, macro_allocation: Allocation
+) -> List[Rate]:
+    """The sorted vector of per-flow network/macro rate ratios.
+
+    Flows with zero macro rate are skipped (they cannot be "starved
+    relative to the macro-switch"; the macro max-min allocation assigns
+    zero only in degenerate inputs).
+    """
+    ratios = [
+        allocation.rate(flow) / macro_allocation.rate(flow)
+        for flow in macro_allocation.flows()
+        if macro_allocation.rate(flow) != 0
+    ]
+    if not ratios:
+        raise ValueError("no flows with positive macro-switch rate")
+    return sorted(ratios)
+
+
+def relative_max_min_fair(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    macro_allocation: Optional[Allocation] = None,
+    exact: bool = True,
+    use_symmetry: bool = True,
+) -> RelativeAllocation:
+    """Exact relative-max-min fair allocation by exhaustive enumeration.
+
+    Exponential in ``|F|`` — small instances only; see
+    :func:`improve_routing_relative` for the heuristic.
+    """
+    if not len(flows):
+        raise ValueError("cannot optimize over an empty flow collection")
+    if macro_allocation is None:
+        macro_allocation = macro_switch_max_min(
+            MacroSwitch(network.n), flows, exact=exact
+        )
+    capacities = network.graph.capacities()
+    best: Optional[Tuple[Routing, Allocation, List[Rate]]] = None
+    examined = 0
+    for routing in enumerate_routings(network, flows, use_symmetry=use_symmetry):
+        examined += 1
+        allocation = max_min_fair(routing, capacities, exact=exact)
+        ratios = ratio_vector(allocation, macro_allocation)
+        if best is None or lex_compare(ratios, best[2]) > 0:
+            best = (routing, allocation, ratios)
+    routing, allocation, ratios = best
+    return RelativeAllocation(
+        routing=routing,
+        allocation=allocation,
+        ratio_vector=ratios,
+        floor=ratios[0],
+        examined=examined,
+    )
+
+
+def improve_routing_relative(
+    network: ClosNetwork,
+    routing: Routing,
+    macro_allocation: Allocation,
+    exact: bool = True,
+    max_rounds: Optional[int] = None,
+) -> RelativeAllocation:
+    """Hill-climb the ratio vector with single-flow middle-switch moves.
+
+    A lower bound on the exact optimum; useful on instances (like the
+    Theorem 4.3 construction) whose routing space defeats enumeration.
+    """
+    capacities = network.graph.capacities()
+    best_routing = routing
+    best_alloc = max_min_fair(routing, capacities, exact=exact)
+    best_ratios = ratio_vector(best_alloc, macro_allocation)
+    examined = 1
+    rounds = 0
+    while max_rounds is None or rounds < max_rounds:
+        rounds += 1
+        improved = False
+        middles = best_routing.middles(network)
+        for flow in best_routing.flows():
+            here = middles[flow]
+            for m in range(1, network.num_middles + 1):
+                if m == here:
+                    continue
+                candidate = best_routing.reassigned(network, flow, m)
+                alloc = max_min_fair(candidate, capacities, exact=exact)
+                ratios = ratio_vector(alloc, macro_allocation)
+                examined += 1
+                if lex_compare(ratios, best_ratios) > 0:
+                    best_routing, best_alloc, best_ratios = (
+                        candidate,
+                        alloc,
+                        ratios,
+                    )
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return RelativeAllocation(
+        routing=best_routing,
+        allocation=best_alloc,
+        ratio_vector=best_ratios,
+        floor=best_ratios[0],
+        examined=examined,
+    )
+
+
+def floor_of_routing(
+    network: ClosNetwork,
+    routing: Routing,
+    macro_allocation: Allocation,
+    exact: bool = True,
+) -> Rate:
+    """The relative-fairness floor achieved by one concrete routing."""
+    allocation = max_min_fair(routing, network.graph.capacities(), exact=exact)
+    return ratio_vector(allocation, macro_allocation)[0]

@@ -1,0 +1,179 @@
+"""Closed-form predictions of the paper's theorems and lemmas.
+
+Every quantity the paper derives symbolically is available here as an
+exact :class:`~fractions.Fraction`, so the test suite and the benchmark
+harness can compare *measured* values (water-filling, matching,
+Doom-Switch, exhaustive search) against *predicted* ones with zero
+tolerance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, NamedTuple
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.4 (R1): price of fairness in a macro-switch
+# ----------------------------------------------------------------------
+class Theorem34Prediction(NamedTuple):
+    """Predicted throughputs for the Figure 2 gadget with ``k`` blue flows."""
+
+    max_throughput: Fraction  # T^MT
+    max_min_throughput: Fraction  # T^MmF
+    ratio: Fraction  # T^MmF / T^MT
+    epsilon: Fraction  # T^MmF = (1 + eps) * T^MT / 2
+    per_flow_rate: Fraction  # the common max-min fair rate
+
+
+def theorem_3_4(k: int) -> Theorem34Prediction:
+    """Theorem 3.4's tight construction: ``T^MmF = 1 + 1/(k+1)``, ``T^MT = 2``.
+
+    >>> theorem_3_4(1).max_min_throughput
+    Fraction(3, 2)
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    t_mt = Fraction(2)
+    t_mmf = 1 + Fraction(1, k + 1)
+    return Theorem34Prediction(
+        max_throughput=t_mt,
+        max_min_throughput=t_mmf,
+        ratio=t_mmf / t_mt,
+        epsilon=Fraction(1, k + 1),
+        per_flow_rate=Fraction(1, k + 1),
+    )
+
+
+#: Theorem 3.4's universal lower bound: T^MmF >= LOWER_BOUND_R1 * T^MT.
+LOWER_BOUND_R1 = Fraction(1, 2)
+
+
+# ----------------------------------------------------------------------
+# Theorem 4.3 (R2): lex-max-min starvation
+# ----------------------------------------------------------------------
+class Theorem43Prediction(NamedTuple):
+    """Per-type rates for the Figure 3 construction of size ``n``."""
+
+    macro_rates: Dict[str, Fraction]  # Lemma 4.4
+    lex_max_min_rates: Dict[str, Fraction]  # Lemma 4.6
+    starvation_factor: Fraction  # lex rate / macro rate of the type-3 flow
+
+
+def theorem_4_3(n: int) -> Theorem43Prediction:
+    """Lemmas 4.4 and 4.6: the type-3 flow drops from 1 to ``1/n``.
+
+    >>> theorem_4_3(3).starvation_factor
+    Fraction(1, 3)
+    """
+    if n < 3:
+        raise ValueError(f"Theorem 4.3 needs n >= 3, got {n}")
+    macro = {
+        "type1": Fraction(1, n + 1),
+        "type2": Fraction(1, n),
+        "type3": Fraction(1),
+    }
+    lex = {
+        "type1": Fraction(1, n + 1),
+        "type2": Fraction(1, n),
+        "type3": Fraction(1, n),
+    }
+    return Theorem43Prediction(
+        macro_rates=macro,
+        lex_max_min_rates=lex,
+        starvation_factor=lex["type3"] / macro["type3"],
+    )
+
+
+def theorem_4_2_macro_rates(n: int) -> Dict[str, Fraction]:
+    """Example 4.1's macro-switch max-min rates (multiplicity-1 variant).
+
+    Type 1 and type 3 flows ride alone on their server links → rate 1;
+    type 2 flows share: each source ``s_i^1`` emits ``n`` type-2 flows
+    → rate ``1/n`` (and each of ``O_{n+1}``'s first ``n−1`` destinations
+    receives exactly ``n/n = 1``, consistent with the figure's ×3).
+    """
+    if n < 3:
+        raise ValueError(f"Theorem 4.2 needs n >= 3, got {n}")
+    return {"type1": Fraction(1), "type2": Fraction(1, n), "type3": Fraction(1)}
+
+
+# ----------------------------------------------------------------------
+# Theorem 5.4 (R3): Doom-Switch throughput doubling
+# ----------------------------------------------------------------------
+class Theorem54Prediction(NamedTuple):
+    """Predicted values for the Figure 4 construction (odd ``n``, ``k`` blues)."""
+
+    macro_max_min_throughput: Fraction  # T^MmF in MS_n
+    doom_throughput: Fraction  # the Doom-Switch routing's throughput (≤ T^T-MmF)
+    gain: Fraction  # doom_throughput / macro_max_min_throughput
+    epsilon: Fraction  # gain = 2 (1 - eps)
+    macro_rate: Fraction  # every flow's macro-switch max-min rate
+    type1_rate: Fraction  # matched flows under Doom-Switch
+    type2_rate: Fraction  # doomed flows under Doom-Switch
+
+
+def theorem_5_4(n: int, k: int) -> Theorem54Prediction:
+    """Theorem 5.4's tight construction.
+
+    ``T^MmF = (n−1)/2 · (1 + 1/(k+1))`` and the Doom-Switch max-min
+    throughput is ``n − 2``, so the gain tends to 2 as ``n, k → ∞``
+    (``eps = (k+n)/((n−1)(k+2)) → 1/(n−1)``).
+
+    >>> theorem_5_4(7, 1).doom_throughput
+    Fraction(5, 1)
+    """
+    if n < 3 or n % 2 == 0:
+        raise ValueError(f"Theorem 5.4 needs odd n >= 3, got {n}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    t_mmf = Fraction(n - 1, 2) * (1 + Fraction(1, k + 1))
+    if Fraction(2, k * (n - 1)) <= Fraction(1, k + 1):
+        # The regime of the paper's stated rates (holds for all odd n >= 5):
+        # the doom switch's links saturate before the server links, so the
+        # doomed flows starve to 2/(k(n-1)) and the matched flows rise.
+        type1_rate = 1 - Fraction(2, n - 1)
+        type2_rate = Fraction(2, k * (n - 1))
+    else:
+        # Degenerate case n = 3: the server links (k+1 flows each)
+        # saturate first, the doom-switch links never bind, and the
+        # allocation collapses to the macro-switch one.  Theorem 5.4's
+        # inequality T^{T-MmF} >= n - 2 still holds (vacuously here).
+        type1_rate = Fraction(1, k + 1)
+        type2_rate = Fraction(1, k + 1)
+    doom = (n - 1) * type1_rate + Fraction(n - 1, 2) * k * type2_rate
+    gain = doom / t_mmf
+    epsilon = 1 - gain / 2
+    return Theorem54Prediction(
+        macro_max_min_throughput=t_mmf,
+        doom_throughput=doom,
+        gain=gain,
+        epsilon=epsilon,
+        macro_rate=Fraction(1, k + 1),
+        type1_rate=type1_rate,
+        type2_rate=type2_rate,
+    )
+
+
+#: Theorem 5.4's universal upper bound: T^T-MmF <= UPPER_BOUND_R3 * T^MmF.
+UPPER_BOUND_R3 = Fraction(2)
+
+
+def theorem_5_4_epsilon_limit(n: int) -> Fraction:
+    """The ``k → ∞`` limit of Theorem 5.4's epsilon: ``1/(n−1)``."""
+    if n < 3:
+        raise ValueError(f"Theorem 5.4 needs n >= 3, got {n}")
+    return Fraction(1, n - 1)
+
+
+# ----------------------------------------------------------------------
+# Example 2.3 (Figure 1) sorted vectors
+# ----------------------------------------------------------------------
+def example_2_3_sorted_vectors() -> Dict[str, list]:
+    """The three sorted vectors derived in Example 2.3."""
+    third, two_thirds, one = Fraction(1, 3), Fraction(2, 3), Fraction(1)
+    return {
+        "macro_switch": [third, third, third, two_thirds, two_thirds, one],
+        "routing_a": [third, third, third, two_thirds, two_thirds, two_thirds],
+        "routing_b": [third, third, third, third, two_thirds, one],
+    }

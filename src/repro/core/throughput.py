@@ -1,0 +1,100 @@
+"""Maximum-throughput allocations (Definition 3.1, Lemmas 3.2 and 5.2).
+
+**Macro-switch (Lemma 3.2).**  A maximum-throughput allocation in
+``MS_n`` assigns rate 1 to the flows of a maximum matching ``F'`` of the
+demand multigraph ``G^MS`` and rate 0 to every other flow, so
+``T^MT = |F'|``.  This is the admission-control view: matched flows are
+admitted at link capacity, the rest are rejected.
+
+**Clos network (Lemma 5.2).**  ``T^{T-MT} = T^MT``: the matched flows
+form a multigraph of maximum degree ≤ n over the input/output switches
+(each ToR has n servers, so a matching uses each ToR at most n times),
+hence König's theorem yields an ``n``-edge-coloring of ``G^C`` restricted
+to ``F'``, i.e. a link-disjoint routing through the ``n`` middle
+switches that replicates the macro-switch maximum-throughput allocation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from repro.coloring.konig import edge_coloring
+from repro.core.allocation import Allocation
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.matching.hopcroft_karp import maximum_matching
+
+
+def maximum_throughput_matching(flows: FlowCollection) -> Dict[Flow, Tuple]:
+    """A maximum matching ``F'`` of ``G^MS`` (matched flow → endpoints)."""
+    return maximum_matching(flows.demand_graph_ms())
+
+
+def max_throughput_value(flows: FlowCollection) -> int:
+    """``T^MT``: the maximum throughput across the macro-switch."""
+    return len(maximum_throughput_matching(flows))
+
+
+def max_throughput_allocation(
+    flows: FlowCollection, exact: bool = True
+) -> Allocation:
+    """A maximum-throughput allocation per Lemma 3.2 (0/1 rates).
+
+    >>> from repro.core.topology import MacroSwitch
+    >>> ms = MacroSwitch(1)
+    >>> flows = FlowCollection.from_pairs(
+    ...     [(ms.source(1, 1), ms.destination(1, 1)),
+    ...      (ms.source(2, 1), ms.destination(1, 1))])
+    >>> max_throughput_allocation(flows).throughput()
+    Fraction(1, 1)
+    """
+    matched = maximum_throughput_matching(flows)
+    one = Fraction(1) if exact else 1.0
+    zero = Fraction(0) if exact else 0.0
+    return Allocation({f: (one if f in matched else zero) for f in flows})
+
+
+def link_disjoint_routing(
+    network: ClosNetwork, matched: FlowCollection
+) -> Routing:
+    """A link-disjoint Clos routing of a (sub-)collection of flows.
+
+    Requires the demand multigraph ``G^C`` of ``matched`` to have maximum
+    degree at most ``n``; raises
+    :class:`repro.coloring.konig.ColoringError` otherwise.  Color ``c``
+    maps to middle switch ``M_{c+1}`` (footnote 5's correspondence).
+    """
+    colors = edge_coloring(
+        matched.demand_graph_clos(), num_colors=network.num_middles
+    )
+    middles = {flow: color + 1 for flow, color in colors.items()}
+    return Routing.from_middles(network, matched, middles)
+
+
+def throughput_max_throughput(
+    network: ClosNetwork, flows: FlowCollection, exact: bool = True
+) -> Tuple[Routing, Allocation]:
+    """A throughput-maximum-throughput pair ``(routing, allocation)``.
+
+    Constructive Lemma 5.2: route a maximum matching link-disjointly via
+    König coloring (rate 1 each) and route every unmatched flow anywhere
+    (middle switch 1) at rate 0.  The returned allocation is feasible for
+    the returned routing and achieves ``T^{T-MT} = T^MT``.
+    """
+    matched_map = maximum_throughput_matching(flows)
+    matched = FlowCollection(f for f in flows if f in matched_map)
+    disjoint = link_disjoint_routing(network, matched)
+
+    one = Fraction(1) if exact else 1.0
+    zero = Fraction(0) if exact else 0.0
+    paths = {f: disjoint.path(f) for f in matched}
+    rates: Dict[Flow, object] = {}
+    for flow in flows:
+        if flow in matched_map:
+            rates[flow] = one
+        else:
+            rates[flow] = zero
+            paths[flow] = network.path_via(flow.source, flow.dest, 1)
+    return Routing(paths), Allocation(rates)

@@ -1,0 +1,256 @@
+"""Clos networks ``C_n`` and macro-switch abstractions ``MS_n`` (§2.1).
+
+The Clos network of size ``n`` interconnects ``2n²`` sources to ``2n²``
+destinations through three switch stages:
+
+- ``2n`` input ToR switches ``I_i`` and ``2n`` output ToR switches
+  ``O_i``, each attached to ``n`` servers,
+- ``n`` middle switches ``M_m``, with one unit-capacity link ``I_i M_m``
+  and one unit-capacity link ``M_m O_i`` for every ``i, m``.
+
+There are exactly ``n`` source–destination paths between every pair, one
+per middle switch, so a routing of a flow is fully determined by its
+middle-switch choice.
+
+The macro-switch ``MS_n`` replaces the middle stage by a complete
+bipartite graph of *infinite*-capacity links between input and output
+switches, so each source–destination pair has a unique path and flows can
+only be bottlenecked on the unit-capacity server links.  It is the
+idealized "one big switch" against which the paper measures the Clos
+network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.nodes import (
+    ClosNode,
+    Destination,
+    InputSwitch,
+    MiddleSwitch,
+    OutputSwitch,
+    Source,
+)
+from repro.graph.digraph import INFINITE_CAPACITY, DiGraph
+
+#: A routing path, as a tuple of nodes from source to destination.
+Path = Tuple[ClosNode, ...]
+
+
+def _check_size(n: int) -> None:
+    if not isinstance(n, int) or n < 1:
+        raise ValueError(f"Clos size must be a positive integer, got {n!r}")
+
+
+class ClosNetwork:
+    """The Clos network ``C_n`` of §2.1, with unit link capacities.
+
+    ``middle_count`` generalizes the construction for the multirate-
+    rearrangeability setting (§6 related work): same ToR switches and
+    servers, but ``m`` middle switches instead of ``n``.  The paper's
+    ``C_n`` is the default ``middle_count = n``.
+
+    ``interior_capacity`` and ``server_capacity`` generalize the unit
+    capacities: setting ``interior_capacity < 1`` models an
+    *oversubscribed* fabric (the paper's full-bisection premise
+    deliberately broken — several of its positive lemmas then fail; see
+    experiment E15).
+
+    >>> clos = ClosNetwork(2)
+    >>> clos.n
+    2
+    >>> len(clos.middle_switches)
+    2
+    >>> len(clos.sources)
+    8
+    >>> ClosNetwork(2, middle_count=3).num_middles
+    3
+    """
+
+    def __init__(
+        self,
+        n: int,
+        middle_count: Optional[int] = None,
+        interior_capacity: object = 1,
+        server_capacity: object = 1,
+    ) -> None:
+        _check_size(n)
+        if middle_count is None:
+            middle_count = n
+        if not isinstance(middle_count, int) or middle_count < 1:
+            raise ValueError(
+                f"middle_count must be a positive integer, got {middle_count!r}"
+            )
+        if interior_capacity <= 0 or server_capacity <= 0:
+            raise ValueError("link capacities must be positive")
+        self.n = n
+        self.num_middles = middle_count
+        self.interior_capacity = interior_capacity
+        self.server_capacity = server_capacity
+        self.graph = DiGraph()
+        self.input_switches: List[InputSwitch] = [
+            InputSwitch(i) for i in range(1, 2 * n + 1)
+        ]
+        self.output_switches: List[OutputSwitch] = [
+            OutputSwitch(i) for i in range(1, 2 * n + 1)
+        ]
+        self.middle_switches: List[MiddleSwitch] = [
+            MiddleSwitch(m) for m in range(1, middle_count + 1)
+        ]
+        self.sources: List[Source] = [
+            Source(i, j) for i in range(1, 2 * n + 1) for j in range(1, n + 1)
+        ]
+        self.destinations: List[Destination] = [
+            Destination(i, j) for i in range(1, 2 * n + 1) for j in range(1, n + 1)
+        ]
+        self._build_links()
+
+    def _build_links(self) -> None:
+        for src in self.sources:
+            self.graph.add_link(
+                src, InputSwitch(src.switch), capacity=self.server_capacity
+            )
+        for dst in self.destinations:
+            self.graph.add_link(
+                OutputSwitch(dst.switch), dst, capacity=self.server_capacity
+            )
+        for inp in self.input_switches:
+            for mid in self.middle_switches:
+                self.graph.add_link(inp, mid, capacity=self.interior_capacity)
+        for mid in self.middle_switches:
+            for out in self.output_switches:
+                self.graph.add_link(mid, out, capacity=self.interior_capacity)
+
+    def oversubscription(self) -> object:
+        """The per-ToR oversubscription ratio: server capacity entering a
+        ToR divided by interior capacity leaving it (1 = full bisection,
+        the paper's premise; > 1 = under-provisioned interior)."""
+        uplink = self.num_middles * self.interior_capacity
+        downlink = self.n * self.server_capacity
+        return downlink / uplink
+
+    # ------------------------------------------------------------------
+    # Node helpers (1-based, mirroring the paper's notation)
+    # ------------------------------------------------------------------
+    def source(self, i: int, j: int) -> Source:
+        """``s_i^j``: the ``j``-th source of input switch ``I_i``."""
+        self._check_server_indices(i, j)
+        return Source(i, j)
+
+    def destination(self, i: int, j: int) -> Destination:
+        """``t_i^j``: the ``j``-th destination of output switch ``O_i``."""
+        self._check_server_indices(i, j)
+        return Destination(i, j)
+
+    def middle(self, m: int) -> MiddleSwitch:
+        """``M_m``."""
+        if not 1 <= m <= self.num_middles:
+            raise ValueError(
+                f"middle switch index {m} out of range [1, {self.num_middles}]"
+            )
+        return MiddleSwitch(m)
+
+    def _check_server_indices(self, i: int, j: int) -> None:
+        if not 1 <= i <= 2 * self.n:
+            raise ValueError(f"ToR index {i} out of range [1, {2 * self.n}]")
+        if not 1 <= j <= self.n:
+            raise ValueError(f"server index {j} out of range [1, {self.n}]")
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def path_via(self, source: Source, dest: Destination, m: int) -> Path:
+        """The unique ``source → dest`` path through middle switch ``M_m``."""
+        return (
+            source,
+            InputSwitch(source.switch),
+            self.middle(m),
+            OutputSwitch(dest.switch),
+            dest,
+        )
+
+    def paths(self, source: Source, dest: Destination) -> List[Path]:
+        """All paths between ``source`` and ``dest``, one per middle switch."""
+        return [
+            self.path_via(source, dest, m)
+            for m in range(1, self.num_middles + 1)
+        ]
+
+    def middle_of_path(self, path: Sequence[ClosNode]) -> MiddleSwitch:
+        """The middle switch a path traverses (validates the path shape)."""
+        if len(path) != 5 or not isinstance(path[2], MiddleSwitch):
+            raise ValueError(f"not a Clos source-destination path: {path!r}")
+        return path[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClosNetwork(n={self.n})"
+
+
+class MacroSwitch:
+    """The macro-switch abstraction ``MS_n`` of §2.1.
+
+    Links between ToR switches have infinite capacity, so feasibility is
+    governed only by the unit-capacity server links — the network interior
+    "disappears", emulating a single big switch.
+
+    >>> ms = MacroSwitch(2)
+    >>> path = ms.path(ms.source(1, 1), ms.destination(2, 2))
+    >>> len(path)
+    4
+    """
+
+    def __init__(self, n: int) -> None:
+        _check_size(n)
+        self.n = n
+        self.graph = DiGraph()
+        self.input_switches: List[InputSwitch] = [
+            InputSwitch(i) for i in range(1, 2 * n + 1)
+        ]
+        self.output_switches: List[OutputSwitch] = [
+            OutputSwitch(i) for i in range(1, 2 * n + 1)
+        ]
+        self.sources: List[Source] = [
+            Source(i, j) for i in range(1, 2 * n + 1) for j in range(1, n + 1)
+        ]
+        self.destinations: List[Destination] = [
+            Destination(i, j) for i in range(1, 2 * n + 1) for j in range(1, n + 1)
+        ]
+        self._build_links()
+
+    def _build_links(self) -> None:
+        for src in self.sources:
+            self.graph.add_link(src, InputSwitch(src.switch), capacity=1)
+        for dst in self.destinations:
+            self.graph.add_link(OutputSwitch(dst.switch), dst, capacity=1)
+        for inp in self.input_switches:
+            for out in self.output_switches:
+                self.graph.add_link(inp, out, capacity=INFINITE_CAPACITY)
+
+    def source(self, i: int, j: int) -> Source:
+        """``s_i^j`` (same indexing as the Clos network)."""
+        self._check_server_indices(i, j)
+        return Source(i, j)
+
+    def destination(self, i: int, j: int) -> Destination:
+        """``t_i^j`` (same indexing as the Clos network)."""
+        self._check_server_indices(i, j)
+        return Destination(i, j)
+
+    def _check_server_indices(self, i: int, j: int) -> None:
+        if not 1 <= i <= 2 * self.n:
+            raise ValueError(f"ToR index {i} out of range [1, {2 * self.n}]")
+        if not 1 <= j <= self.n:
+            raise ValueError(f"server index {j} out of range [1, {self.n}]")
+
+    def path(self, source: Source, dest: Destination) -> Path:
+        """The unique ``source → dest`` path in the macro-switch."""
+        return (
+            source,
+            InputSwitch(source.switch),
+            OutputSwitch(dest.switch),
+            dest,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MacroSwitch(n={self.n})"

@@ -1,0 +1,9 @@
+"""Distributed congestion-control dynamics converging to max-min fairness."""
+
+from repro.dynamics.waterlevel import (
+    AimdDynamics,
+    ConvergenceTrace,
+    LinkFairShareDynamics,
+)
+
+__all__ = ["AimdDynamics", "ConvergenceTrace", "LinkFairShareDynamics"]

@@ -1,0 +1,199 @@
+"""Distributed convergence to max-min fairness (the §2.2 idealization).
+
+The paper models congestion control as instantly "imposing a max-min
+fair allocation of the link capacities among the flow rates" (§1).
+Real congestion control is a *distributed iterative process*; this
+module implements two classic schemes and lets the test suite confirm
+that they converge to exactly the allocation our centralized
+water-filling oracle computes — closing the loop between the paper's
+idealization and a deployable mechanism.
+
+- :class:`LinkFairShareDynamics` — synchronous link/flow iteration in
+  the style of Bertsekas & Gallager's distributed flow control (the
+  paper's reference [6]) and of Charny-style explicit-rate allocation:
+  each link advertises a fair share computed from its capacity, the
+  flows it carries, and the flows already bottlenecked elsewhere at a
+  lower rate; each flow's rate is the minimum advertised share along
+  its path.  Converges to the max-min fair allocation in at most as
+  many rounds as there are distinct bottleneck levels.
+
+- :class:`AimdDynamics` — per-flow additive-increase /
+  multiplicative-decrease against binary congestion signals, the TCP
+  caricature.  Converges only *on time-average* and only approximately;
+  included to quantify how far a real-protocol-shaped control loop sits
+  from the ideal the theory assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, NamedTuple, Optional
+
+from repro.core.flows import Flow
+from repro.core.routing import Link, Routing
+
+_INF = float("inf")
+
+
+class ConvergenceTrace(NamedTuple):
+    """The outcome of an iterative run."""
+
+    rates: Dict[Flow, float]
+    rounds: int
+    converged: bool
+    #: max per-flow |rate_t − rate_{t−1}| at the final round.
+    final_delta: float
+    #: per-round snapshots (optional; None when not recorded).
+    history: Optional[List[Dict[Flow, float]]]
+
+
+class LinkFairShareDynamics:
+    """Synchronous explicit-rate iteration converging to max-min fairness.
+
+    Round structure (all links, then all flows, in lockstep):
+
+    1. every link ``e`` computes an advertised share: the solution of
+       "capacity = Σ min(rate_f, share)" over the flows on ``e`` —
+       i.e. flows currently *below* the share keep their rate (they are
+       constrained elsewhere), the rest get the share;
+    2. every flow sets its rate to the minimum share along its path.
+
+    With consistent state this is exactly one water-filling refinement,
+    and the fixed points are precisely the max-min fair allocations.
+    """
+
+    def __init__(self, routing: Routing, capacities: Mapping[Link, object]):
+        self.routing = routing
+        self.capacities = {
+            link: float(cap) for link, cap in capacities.items()
+        }
+        self._members = routing.flows_per_link()
+
+    def _advertised_share(self, link: Link, rates: Mapping[Flow, float]) -> float:
+        """The smallest ``s`` with ``Σ_f min(rate_f, s) ≥ capacity``.
+
+        Flows currently below ``s`` are treated as constrained elsewhere
+        and keep their rate; the rest receive ``s``.  When even
+        ``s → ∞`` cannot saturate the link (Σ rates < capacity) the link
+        is not binding and it advertises its full capacity — an upper
+        bound no single flow can exceed anyway, which keeps the
+        iteration monotone toward the fixed point.
+        """
+        capacity = self.capacities[link]
+        if capacity == _INF:
+            return _INF
+        ordered = sorted(rates[f] for f in self._members[link])
+        total = len(ordered)
+        consumed = 0.0  # rate mass of flows confirmed below the share
+        for index, rate in enumerate(ordered):
+            count_at_or_above = total - index
+            candidate = (capacity - consumed) / count_at_or_above
+            if candidate <= rate:
+                return candidate
+            consumed += rate
+        return capacity
+
+    def step(self, rates: Dict[Flow, float]) -> Dict[Flow, float]:
+        """One synchronous round; returns the new rate vector."""
+        shares = {
+            link: self._advertised_share(link, rates) for link in self._members
+        }
+        new_rates: Dict[Flow, float] = {}
+        for flow in self.routing.flows():
+            new_rates[flow] = min(
+                shares[link] for link in self.routing.links_of(flow)
+            )
+        return new_rates
+
+    def run(
+        self,
+        max_rounds: int = 100,
+        tolerance: float = 1e-12,
+        record_history: bool = False,
+    ) -> ConvergenceTrace:
+        """Iterate from all-zero rates until the vector stops moving."""
+        rates = {flow: 0.0 for flow in self.routing.flows()}
+        history: Optional[List[Dict[Flow, float]]] = (
+            [dict(rates)] if record_history else None
+        )
+        delta = _INF
+        rounds = 0
+        while rounds < max_rounds:
+            rounds += 1
+            new_rates = self.step(rates)
+            delta = max(
+                abs(new_rates[f] - rates[f]) for f in new_rates
+            ) if new_rates else 0.0
+            rates = new_rates
+            if record_history:
+                history.append(dict(rates))
+            if delta <= tolerance:
+                break
+        return ConvergenceTrace(
+            rates=rates,
+            rounds=rounds,
+            converged=delta <= tolerance,
+            final_delta=delta,
+            history=history,
+        )
+
+
+class AimdDynamics:
+    """Additive-increase / multiplicative-decrease toward (rough) fairness.
+
+    Each round, every flow probes: if every link on its path has spare
+    capacity it adds ``increase``; if any link is over capacity it
+    multiplies by ``decrease``.  The long-run *average* rates hover
+    around max-min fairness for single-bottleneck topologies and drift
+    from it in general — which is the point of including it.
+    """
+
+    def __init__(
+        self,
+        routing: Routing,
+        capacities: Mapping[Link, object],
+        increase: float = 0.01,
+        decrease: float = 0.5,
+    ):
+        if not 0 < decrease < 1:
+            raise ValueError(f"decrease must be in (0, 1), got {decrease}")
+        if increase <= 0:
+            raise ValueError(f"increase must be positive, got {increase}")
+        self.routing = routing
+        self.capacities = {link: float(c) for link, c in capacities.items()}
+        self.increase = increase
+        self.decrease = decrease
+        self._members = routing.flows_per_link()
+
+    def step(self, rates: Dict[Flow, float]) -> Dict[Flow, float]:
+        loads = {
+            link: sum(rates[f] for f in flows)
+            for link, flows in self._members.items()
+        }
+        congested = {
+            link
+            for link, load in loads.items()
+            if self.capacities[link] != _INF and load > self.capacities[link]
+        }
+        new_rates: Dict[Flow, float] = {}
+        for flow in self.routing.flows():
+            if any(link in congested for link in self.routing.links_of(flow)):
+                new_rates[flow] = rates[flow] * self.decrease
+            else:
+                new_rates[flow] = rates[flow] + self.increase
+        return new_rates
+
+    def run(self, rounds: int = 2000, warmup: int = 500) -> Dict[Flow, float]:
+        """Iterate and return the post-warmup time-average rates."""
+        if warmup >= rounds:
+            raise ValueError("warmup must be smaller than rounds")
+        rates = {flow: self.increase for flow in self.routing.flows()}
+        totals = {flow: 0.0 for flow in self.routing.flows()}
+        for round_index in range(rounds):
+            rates = self.step(rates)
+            if round_index >= warmup:
+                for flow, rate in rates.items():
+                    totals[flow] += rate
+            if not rates:
+                break
+        samples = rounds - warmup
+        return {flow: total / samples for flow, total in totals.items()}

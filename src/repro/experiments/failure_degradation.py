@@ -1,0 +1,89 @@
+"""Experiment E14 — graceful degradation under middle-stage failures.
+
+The paper's results localize the Clos network's fairness pathologies on
+the interior links; this experiment measures what happens when that
+interior *shrinks*.  For a fixed workload on ``C_n`` we fail middle
+switches one by one and report, per failure level:
+
+- throughput and worst-flow rate when flows are **rerouted** around the
+  failure (greedy router on the surviving fabric) — graceful
+  degradation until demand exceeds the surviving bisection;
+- the same when flows stay **pinned** to their pre-failure paths
+  (capacity zeroed under them) — flows through the dead switch starve
+  outright, quantifying the reroute-vs-pin gap.
+
+Expected shape: rerouted throughput decays roughly linearly with
+surviving middle switches once they bind; pinned throughput falls off a
+cliff proportional to the failed switch's load, and its min rate is 0.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, NamedTuple, Sequence
+
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.failures import fail_middle_switch, surviving_network
+from repro.routers.greedy import greedy_least_congested
+from repro.workloads.stochastic import uniform_random
+
+
+class FailureRow(NamedTuple):
+    """One failure level."""
+
+    failed_middles: int
+    surviving: int
+    pinned_throughput: Fraction
+    pinned_min_rate: Fraction
+    rerouted_throughput: Fraction
+    rerouted_min_rate: Fraction
+
+
+def middle_failure_sweep(
+    n: int = 4,
+    num_flows: int = 40,
+    max_failures: int = 3,
+    seed: int = 0,
+) -> List[FailureRow]:
+    """Fail middle switches ``1..max_failures`` cumulatively."""
+    if max_failures >= n:
+        raise ValueError("must leave at least one middle switch alive")
+    network = ClosNetwork(n)
+    flows = uniform_random(network, num_flows, seed=seed)
+    base_capacities = network.graph.capacities()
+    base_routing = greedy_least_congested(network, flows)
+
+    rows: List[FailureRow] = []
+    capacities = dict(base_capacities)
+    for failures in range(0, max_failures + 1):
+        if failures:
+            capacities = fail_middle_switch(network, capacities, failures)
+
+        pinned = max_min_fair(base_routing, capacities)
+
+        failed = list(range(1, failures + 1))
+        if failed:
+            smaller, index_map = surviving_network(network, failed)
+            rerouted_small = greedy_least_congested(smaller, flows)
+            translated = {
+                flow: index_map[m]
+                for flow, m in rerouted_small.middles(smaller).items()
+            }
+            rerouted_routing = Routing.from_middles(network, flows, translated)
+        else:
+            rerouted_routing = base_routing
+        rerouted = max_min_fair(rerouted_routing, capacities)
+
+        rows.append(
+            FailureRow(
+                failed_middles=failures,
+                surviving=n - failures,
+                pinned_throughput=pinned.throughput(),
+                pinned_min_rate=min(pinned.sorted_vector()),
+                rerouted_throughput=rerouted.throughput(),
+                rerouted_min_rate=min(rerouted.sorted_vector()),
+            )
+        )
+    return rows

@@ -1,0 +1,180 @@
+"""Experiment E8 — the §7 R1 discussion: scheduling vs congestion control.
+
+The paper's conclusions argue that because max-min fairness forfeits up
+to half the instantaneous throughput (R1), data-centers measured on
+*flow completion times* may benefit from **scheduling**: delaying some
+flows so the rest transmit at link capacity, analogously to admission
+control.  This experiment quantifies that claim with the flow-level
+simulator:
+
+- policy "maxmin"    — ECMP routing + max-min fair congestion control;
+- policy "scheduler" — maximum-matching service at link capacity with
+  an SRPT preference (the §7 proposal);
+- policy "ps"        — per-destination processor sharing (baseline).
+
+Two workloads: the incast burst (where fairness provably doubles the
+mean FCT versus serial service) and Poisson arrivals at moderate load.
+Expected shape: the scheduler's mean FCT beats max-min congestion
+control, most dramatically on incast; max-min in turn dominates the
+naive baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.core.topology import ClosNetwork
+from repro.sim.flowsim import FCTStats, fct_stats, simulate
+from repro.sim.jobs import incast_burst, poisson_workload
+from repro.sim.policies import (
+    MatchingScheduler,
+    MaxMinCongestionControl,
+    ProcessorSharing,
+    ReroutingCongestionControl,
+)
+
+
+class FCTRow(NamedTuple):
+    """One (workload, policy) cell."""
+
+    workload: str
+    policy: str
+    stats: FCTStats
+
+
+def _policies(network: ClosNetwork):
+    return {
+        "maxmin": MaxMinCongestionControl(network, router="ecmp"),
+        "scheduler": MatchingScheduler(network, srpt=True),
+        "ps": ProcessorSharing(network),
+    }
+
+
+def incast_comparison(n: int = 2, fan_in: int = 8) -> List[FCTRow]:
+    """The incast burst: fairness serves everyone at 1/fan_in; scheduling
+    serves them one at a time.
+
+    Closed forms for ``fan_in`` unit jobs on one destination link:
+    max-min finishes all at time ``fan_in`` (mean FCT = fan_in);
+    serial service finishes the i-th at time i (mean = (fan_in+1)/2) —
+    asymptotically a 2× mean-FCT gap, the FCT face of Theorem 3.4.
+    """
+    network = ClosNetwork(n)
+    rows: List[FCTRow] = []
+    for name, policy in _policies(network).items():
+        jobs = incast_burst(network, fan_in=fan_in, seed=3)
+        result = simulate(jobs, policy)
+        rows.append(FCTRow("incast", name, fct_stats(result)))
+    return rows
+
+
+def poisson_comparison(
+    n: int = 2,
+    rate: float = 1.0,
+    horizon: float = 60.0,
+    size_distribution: str = "exponential",
+    seed: int = 0,
+) -> List[FCTRow]:
+    """Poisson arrivals at moderate load, all three policies."""
+    network = ClosNetwork(n)
+    rows: List[FCTRow] = []
+    for name, policy in _policies(network).items():
+        jobs = poisson_workload(
+            network,
+            rate=rate,
+            horizon=horizon,
+            size_distribution=size_distribution,
+            seed=seed,
+        )
+        result = simulate(jobs, policy, max_time=horizon * 20)
+        rows.append(FCTRow(f"poisson/{size_distribution}", name, fct_stats(result)))
+    return rows
+
+
+class LoadSweepRow(NamedTuple):
+    """Mean FCT under both §7 policies at one offered load."""
+
+    rate: float
+    maxmin_mean_fct: float
+    scheduler_mean_fct: float
+    speedup: float  # maxmin / scheduler (> 1 means scheduling wins)
+
+
+def load_sweep(
+    n: int = 2,
+    rates: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    horizon: float = 40.0,
+    seed: int = 0,
+) -> List[LoadSweepRow]:
+    """Mean-FCT comparison across offered loads (the E8 headline series)."""
+    network = ClosNetwork(n)
+    rows: List[LoadSweepRow] = []
+    for rate in rates:
+        jobs = poisson_workload(network, rate=rate, horizon=horizon, seed=seed)
+        results: Dict[str, float] = {}
+        for name, policy in (
+            ("maxmin", MaxMinCongestionControl(network, router="ecmp")),
+            ("scheduler", MatchingScheduler(network, srpt=True)),
+        ):
+            stats = fct_stats(simulate(jobs, policy, max_time=horizon * 50))
+            results[name] = stats.mean_fct
+        rows.append(
+            LoadSweepRow(
+                rate=rate,
+                maxmin_mean_fct=results["maxmin"],
+                scheduler_mean_fct=results["scheduler"],
+                speedup=results["maxmin"] / results["scheduler"],
+            )
+        )
+    return rows
+
+
+class ReroutingRow(NamedTuple):
+    """Mean FCT of flow pinning vs periodic global re-routing."""
+
+    interval: float  # re-route period (inf = never, i.e. pinned ECMP)
+    mean_fct: float
+    mean_slowdown: float
+
+
+def rerouting_comparison(
+    n: int = 3,
+    rate: float = 4.0,
+    horizon: float = 25.0,
+    intervals: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    seed: int = 0,
+) -> List[ReroutingRow]:
+    """E8d: the Hedera question — does periodic re-routing of live flows
+    reduce completion times over arrival-time pinning?
+
+    Expected shape: re-routing helps (the greedy pass undoes unlucky
+    ECMP collisions), and helps more at shorter intervals; the marginal
+    benefit flattens once the interval is short relative to mean flow
+    duration.
+    """
+    network = ClosNetwork(n)
+    jobs = poisson_workload(network, rate=rate, horizon=horizon, seed=seed)
+    rows: List[ReroutingRow] = []
+
+    pinned = fct_stats(
+        simulate(jobs, MaxMinCongestionControl(network, router="ecmp"))
+    )
+    rows.append(
+        ReroutingRow(
+            interval=float("inf"),
+            mean_fct=pinned.mean_fct,
+            mean_slowdown=pinned.mean_slowdown,
+        )
+    )
+    for interval in intervals:
+        stats = fct_stats(
+            simulate(jobs, ReroutingCongestionControl(network, interval=interval))
+        )
+        rows.append(
+            ReroutingRow(
+                interval=interval,
+                mean_fct=stats.mean_fct,
+                mean_slowdown=stats.mean_slowdown,
+            )
+        )
+    return rows

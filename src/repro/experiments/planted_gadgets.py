@@ -1,0 +1,112 @@
+"""Experiment E13 — do the adversarial pathologies survive background traffic?
+
+The constructions behind Theorems 3.4 and 4.3 are surgically isolated;
+this experiment embeds them in random background traffic on otherwise
+untouched ToR switches and measures whether the predicted pathologies
+persist:
+
+- **Planted Theorem 4.3** (`planted_starvation`): under practical
+  routers (ECMP / greedy), how far below its macro rate does the
+  gadget's type-3 flow fall with background present?  Background flows
+  share only *interior* links with the gadget, so any extra degradation
+  is pure macro-abstraction leakage.
+- **Planted Figure 2** (`planted_price_of_fairness`): the gadget's
+  contribution to throughput loss is unchanged by background — the
+  price of fairness composes additively across disjoint server sets in
+  the macro-switch.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, NamedTuple, Sequence
+
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import macro_switch_max_min
+from repro.core.throughput import max_throughput_value
+from repro.routers.ecmp import ecmp_routing
+from repro.routers.greedy import greedy_least_congested
+from repro.workloads.planted import planted_figure_2, planted_theorem_4_3
+
+
+class PlantedStarvationRow(NamedTuple):
+    """Type-3 flow's fate under one router, with/without background."""
+
+    router: str
+    num_background: int
+    macro_rate: Fraction  # always 1
+    network_rate: Fraction
+    ratio: Fraction
+
+
+def planted_starvation(
+    n: int = 3,
+    background_levels: Sequence[int] = (0, 10, 30),
+    seed: int = 0,
+) -> List[PlantedStarvationRow]:
+    """The Theorem 4.3 type-3 flow under ECMP/greedy with background."""
+    rows: List[PlantedStarvationRow] = []
+    for num_background in background_levels:
+        instance = planted_theorem_4_3(
+            n, num_background=num_background, seed=seed
+        )
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        (type3,) = instance.gadget.types["type3"]
+        for router_name, routing in (
+            ("ecmp", ecmp_routing(instance.clos, instance.flows, seed=seed)),
+            ("greedy", greedy_least_congested(instance.clos, instance.flows)),
+        ):
+            alloc = max_min_fair(routing, instance.clos.graph.capacities())
+            rows.append(
+                PlantedStarvationRow(
+                    router=router_name,
+                    num_background=num_background,
+                    macro_rate=macro.rate(type3),
+                    network_rate=alloc.rate(type3),
+                    ratio=alloc.rate(type3) / macro.rate(type3),
+                )
+            )
+    return rows
+
+
+class PlantedPofRow(NamedTuple):
+    """Price of fairness with the gadget planted in background traffic."""
+
+    num_background: int
+    t_max_min: Fraction
+    t_max_throughput: int
+    ratio: Fraction
+    gadget_rate_each: Fraction  # max-min rate of the gadget's flows
+
+
+def planted_price_of_fairness(
+    n: int = 3,
+    k: int = 8,
+    background_levels: Sequence[int] = (0, 10, 30),
+    seed: int = 0,
+) -> List[PlantedPofRow]:
+    """R1's gadget contribution with background present.
+
+    The gadget's flows keep their ``1/(k+1)`` rates exactly (they share
+    no server links with background), so the *per-gadget* throughput
+    deficit is invariant; the global ratio dilutes toward 1 as
+    background grows — worst cases are local.
+    """
+    rows: List[PlantedPofRow] = []
+    for num_background in background_levels:
+        instance = planted_figure_2(
+            n, k=k, num_background=num_background, seed=seed
+        )
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        t_mt = max_throughput_value(instance.flows)
+        gadget_flow = instance.gadget.types["type2"][0]
+        rows.append(
+            PlantedPofRow(
+                num_background=num_background,
+                t_max_min=macro.throughput(),
+                t_max_throughput=t_mt,
+                ratio=macro.throughput() / t_mt,
+                gadget_rate_each=macro.rate(gadget_flow),
+            )
+        )
+    return rows

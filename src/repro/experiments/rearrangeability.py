@@ -1,0 +1,89 @@
+"""Experiment E10 — how many middle switches repair Theorem 4.2?
+
+Theorem 4.2 says the Figure 3 macro-switch rates are unroutable in
+``C_n`` (m = n middle switches).  The multirate-rearrangeability
+literature (§6 related work) guarantees some ``m ≤ ⌈20n/9⌉`` suffices
+and conjectures ``2n − 1``.  This experiment measures the exact minimum
+``m`` for the paper's own adversarial instance and for random
+macro-switch allocations, and scores the first-fit heuristics against
+the certified optimum.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.core.objectives import macro_switch_max_min
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.rearrange.minimize import (
+    conjectured_worst_case,
+    known_upper_bound,
+    minimum_middles_exact,
+    minimum_middles_heuristic,
+)
+from repro.workloads.adversarial import theorem_4_2
+from repro.workloads.stochastic import uniform_random
+
+
+class RearrangeRow(NamedTuple):
+    """Minimum middle counts for one instance."""
+
+    instance: str
+    n: int
+    num_flows: int
+    exact_m: Optional[int]  # certified minimum (None if search skipped)
+    heuristic_m: int  # first-fit family upper bound
+    conjecture_m: int  # 2n - 1
+    proven_m: int  # ceil(20n/9)
+    within_conjecture: bool
+
+
+def theorem_4_2_repair(sizes: Sequence[int] = (3,)) -> List[RearrangeRow]:
+    """E10 part 1: minimum m for the Theorem 4.2 macro rates."""
+    rows: List[RearrangeRow] = []
+    for n in sizes:
+        instance = theorem_4_2(n)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        exact = minimum_middles_exact(n, instance.flows, demands)
+        heuristic = minimum_middles_heuristic(n, instance.flows, demands)
+        rows.append(
+            RearrangeRow(
+                instance=f"theorem_4_2(n={n})",
+                n=n,
+                num_flows=len(instance.flows),
+                exact_m=exact.num_middles,
+                heuristic_m=heuristic.num_middles,
+                conjecture_m=conjectured_worst_case(n),
+                proven_m=known_upper_bound(n),
+                within_conjecture=exact.num_middles <= conjectured_worst_case(n),
+            )
+        )
+    return rows
+
+
+def random_allocation_repair(
+    n: int = 3, num_flows: int = 15, seeds: Sequence[int] = range(4)
+) -> List[RearrangeRow]:
+    """E10 part 2: minimum m for random macro-switch max-min allocations."""
+    clos = ClosNetwork(n)
+    macro = MacroSwitch(n)
+    rows: List[RearrangeRow] = []
+    for seed in seeds:
+        flows = uniform_random(clos, num_flows, seed=seed)
+        demands = macro_switch_max_min(macro, flows).rates()
+        exact = minimum_middles_exact(n, flows, demands)
+        heuristic = minimum_middles_heuristic(n, flows, demands)
+        rows.append(
+            RearrangeRow(
+                instance=f"uniform/seed{seed}",
+                n=n,
+                num_flows=num_flows,
+                exact_m=exact.num_middles,
+                heuristic_m=heuristic.num_middles,
+                conjecture_m=conjectured_worst_case(n),
+                proven_m=known_upper_bound(n),
+                within_conjecture=exact.num_middles
+                <= conjectured_worst_case(n),
+            )
+        )
+    return rows

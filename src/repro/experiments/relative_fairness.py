@@ -1,0 +1,148 @@
+"""Experiment E9 — probing §7's open question on relative-max-min fairness.
+
+Can routing guarantee every flow a constant fraction of its macro-switch
+rate?  Three measurements:
+
+1. **Exact objective comparison** on exhaustively solvable instances
+   (Example 2.3 and random C_2 collections): the floor achieved by the
+   lex-max-min routing, the throughput-max-min routing, and the
+   relative-max-min optimum.  Expected shape: relative-max-min ≥ the
+   others; throughput-max-min can be terrible (it may zero flows).
+
+2. **The Theorem 4.3 construction**: lex-max-min's floor is 1/n (the
+   starved type-3 flow).  Relative-max-min local search, started from
+   the lex-optimal routing, probes whether re-balancing can raise the
+   floor above 1/n — quantifying how much of the starvation is the
+   objective's fault and how much is topological.
+
+3. **Stochastic floors**: the relative floor greedy/ECMP routing
+   achieves on random workloads, contextualizing the adversarial gap.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, NamedTuple, Sequence
+
+from repro.core.allocation import Allocation
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import (
+    lex_max_min_fair,
+    macro_switch_max_min,
+    throughput_max_min_fair,
+)
+from repro.core.relative import (
+    floor_of_routing,
+    improve_routing_relative,
+    ratio_vector,
+    relative_max_min_fair,
+)
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.routers.ecmp import ecmp_routing
+from repro.routers.greedy import greedy_least_congested
+from repro.workloads.adversarial import example_2_3, lemma_4_6_routing, theorem_4_3
+from repro.workloads.stochastic import uniform_random
+
+
+class ObjectiveFloorRow(NamedTuple):
+    """Exact floors of the three objectives on one instance."""
+
+    instance: str
+    lex_floor: Fraction
+    throughput_floor: Fraction
+    relative_floor: Fraction
+    relative_dominates: bool
+
+
+def exact_objective_comparison(
+    seeds: Sequence[int] = range(3), num_flows: int = 5
+) -> List[ObjectiveFloorRow]:
+    """E9 part 1: exact floors on exhaustively solvable instances."""
+    rows: List[ObjectiveFloorRow] = []
+
+    def measure(name: str, network: ClosNetwork, flows) -> ObjectiveFloorRow:
+        macro = macro_switch_max_min(MacroSwitch(network.n), flows)
+        lex = lex_max_min_fair(network, flows)
+        thr = throughput_max_min_fair(network, flows)
+        rel = relative_max_min_fair(network, flows, macro_allocation=macro)
+        lex_floor = ratio_vector(lex.allocation, macro)[0]
+        thr_floor = ratio_vector(thr.allocation, macro)[0]
+        return ObjectiveFloorRow(
+            instance=name,
+            lex_floor=lex_floor,
+            throughput_floor=thr_floor,
+            relative_floor=rel.floor,
+            relative_dominates=bool(
+                rel.floor >= lex_floor and rel.floor >= thr_floor
+            ),
+        )
+
+    instance = example_2_3()
+    rows.append(measure("example_2_3", instance.clos, instance.flows))
+    network = ClosNetwork(2)
+    for seed in seeds:
+        flows = uniform_random(network, num_flows, seed=seed)
+        rows.append(measure(f"uniform/seed{seed}", network, flows))
+    return rows
+
+
+class Theorem43FloorRow(NamedTuple):
+    """Floors on the Theorem 4.3 construction at one size."""
+
+    n: int
+    lex_floor: Fraction  # 1/n by Theorem 4.3 (via the type-3 flow)
+    relative_local_floor: Fraction  # best found by hill-climbing
+    improvement: Fraction  # relative_local_floor / lex_floor
+
+
+def theorem_4_3_floor_probe(sizes: Sequence[int] = (3, 4)) -> List[Theorem43FloorRow]:
+    """E9 part 2: does re-balancing beat the 1/n floor of lex-max-min?"""
+    rows: List[Theorem43FloorRow] = []
+    for n in sizes:
+        instance = theorem_4_3(n)
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        lex_routing = lemma_4_6_routing(instance)
+        lex_floor = floor_of_routing(instance.clos, lex_routing, macro)
+        improved = improve_routing_relative(
+            instance.clos, lex_routing, macro, max_rounds=50
+        )
+        rows.append(
+            Theorem43FloorRow(
+                n=n,
+                lex_floor=lex_floor,
+                relative_local_floor=improved.floor,
+                improvement=improved.floor / lex_floor,
+            )
+        )
+    return rows
+
+
+class StochasticFloorRow(NamedTuple):
+    """Relative floors achieved by practical routers on random traffic."""
+
+    seed: int
+    ecmp_floor: Fraction
+    greedy_floor: Fraction
+
+
+def stochastic_floors(
+    n: int = 3, num_flows: int = 25, seeds: Sequence[int] = range(3)
+) -> List[StochasticFloorRow]:
+    """E9 part 3: floors of ECMP and greedy routing on random workloads."""
+    network = ClosNetwork(n)
+    rows: List[StochasticFloorRow] = []
+    for seed in seeds:
+        flows = uniform_random(network, num_flows, seed=seed)
+        macro = macro_switch_max_min(MacroSwitch(n), flows)
+        rows.append(
+            StochasticFloorRow(
+                seed=seed,
+                ecmp_floor=floor_of_routing(
+                    network, ecmp_routing(network, flows, seed=seed), macro
+                ),
+                greedy_floor=floor_of_routing(
+                    network, greedy_least_congested(network, flows), macro
+                ),
+            )
+        )
+    return rows

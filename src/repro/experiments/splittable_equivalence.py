@@ -1,0 +1,84 @@
+"""Experiment E16 — the §1 premise: splittability restores the macro-switch.
+
+The paper's impossibilities all assume *unsplittable* flows; §1 recalls
+that with splittable flows the Clos network and its macro-switch are
+equivalent.  This experiment verifies the equivalence computationally:
+
+- on random workloads, the splittable max-min fair allocation in
+  ``C_n`` equals the macro-switch max-min allocation (LP precision);
+- on the Theorem 4.3 construction — where the best *unsplittable*
+  routing starves the type-3 flow to 1/n — splitting restores its full
+  macro rate 1, isolating unsplittability as the only culprit.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Sequence
+
+from repro.core.objectives import macro_switch_max_min
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.lp.splittable_maxmin import splittable_max_min_fair
+from repro.workloads.adversarial import theorem_4_3
+from repro.workloads.stochastic import uniform_random
+
+
+class EquivalenceRow(NamedTuple):
+    """One instance's splittable-vs-macro comparison."""
+
+    instance: str
+    num_flows: int
+    worst_gap: float  # max over flows of |splittable − macro| (floats)
+    equivalent: bool  # worst_gap below LP precision
+
+
+class StarvationReversalRow(NamedTuple):
+    """The Theorem 4.3 type-3 flow: unsplittable vs splittable."""
+
+    n: int
+    macro_rate: float  # 1
+    unsplittable_rate: float  # 1/n (Theorem 4.3)
+    splittable_rate: float  # back to 1
+
+
+def random_equivalence(
+    n: int = 2, num_flows: int = 10, seeds: Sequence[int] = range(3)
+) -> List[EquivalenceRow]:
+    """E16 part 1: splittable C_n rates == macro-switch rates."""
+    clos = ClosNetwork(n)
+    macro_network = MacroSwitch(n)
+    rows: List[EquivalenceRow] = []
+    for seed in seeds:
+        flows = uniform_random(clos, num_flows, seed=seed)
+        macro = macro_switch_max_min(macro_network, flows)
+        split = splittable_max_min_fair(clos, flows)
+        worst = max(
+            abs(float(macro.rate(f)) - split.rate(f)) for f in flows
+        )
+        rows.append(
+            EquivalenceRow(
+                instance=f"uniform/seed{seed}",
+                num_flows=num_flows,
+                worst_gap=worst,
+                equivalent=worst < 1e-6,
+            )
+        )
+    return rows
+
+
+def starvation_reversal(sizes: Sequence[int] = (3,)) -> List[StarvationReversalRow]:
+    """E16 part 2: splitting undoes Theorem 4.3's starvation."""
+    rows: List[StarvationReversalRow] = []
+    for n in sizes:
+        instance = theorem_4_3(n)
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        split = splittable_max_min_fair(instance.clos, instance.flows)
+        (type3,) = instance.types["type3"]
+        rows.append(
+            StarvationReversalRow(
+                n=n,
+                macro_rate=float(macro.rate(type3)),
+                unsplittable_rate=1.0 / n,  # Theorem 4.3's lex-max-min rate
+                splittable_rate=split.rate(type3),
+            )
+        )
+    return rows

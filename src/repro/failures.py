@@ -1,0 +1,104 @@
+"""Failure injection: degraded Clos fabrics.
+
+The paper analyzes pristine fabrics; operators live with failed links
+and switches.  Because every solver in this library takes an explicit
+``capacities`` mapping, failures are just capacity overrides — these
+helpers produce them, and :mod:`repro.experiments.failure_degradation`
+measures how throughput and fairness degrade as the middle stage loses
+capacity (where the paper's interior-bottleneck phenomena say the pain
+concentrates).
+
+A failed link keeps its key with capacity 0 (flows routed across it
+water-fill to rate 0) — modeling the window between a failure and
+rerouting.  Routers can instead avoid failed components by routing in a
+:func:`surviving_network`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.nodes import InputSwitch, MiddleSwitch, OutputSwitch
+from repro.core.routing import Link
+from repro.core.topology import ClosNetwork
+
+Capacities = Dict[Link, object]
+
+
+def fail_links(capacities: Capacities, failed: Iterable[Link]) -> Capacities:
+    """A copy of ``capacities`` with the given links' capacity set to 0."""
+    degraded = dict(capacities)
+    for link in failed:
+        if link not in degraded:
+            raise KeyError(f"unknown link: {link!r}")
+        degraded[link] = 0
+    return degraded
+
+
+def middle_switch_links(network: ClosNetwork, m: int) -> List[Link]:
+    """All interior links incident to middle switch ``M_m``."""
+    middle = network.middle(m)
+    links: List[Link] = []
+    for inp in network.input_switches:
+        links.append((inp, middle))
+    for out in network.output_switches:
+        links.append((middle, out))
+    return links
+
+
+def fail_middle_switch(
+    network: ClosNetwork, capacities: Capacities, m: int
+) -> Capacities:
+    """Zero every link of middle switch ``M_m`` (a whole-switch failure)."""
+    return fail_links(capacities, middle_switch_links(network, m))
+
+
+def random_link_failures(
+    network: ClosNetwork,
+    capacities: Capacities,
+    count: int,
+    seed: int = 0,
+    interior_only: bool = True,
+) -> Tuple[Capacities, List[Link]]:
+    """Fail ``count`` uniformly random links; returns (capacities, failed).
+
+    ``interior_only`` restricts failures to ToR–middle links (server
+    links failing disconnect a host outright, a less interesting mode).
+    """
+    if interior_only:
+        candidates = [
+            link
+            for link in capacities
+            if isinstance(link[0], (InputSwitch, MiddleSwitch))
+            and isinstance(link[1], (MiddleSwitch, OutputSwitch))
+        ]
+    else:
+        candidates = list(capacities)
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot fail {count} of {len(candidates)} candidate links"
+        )
+    rng = random.Random(seed)
+    failed = rng.sample(candidates, count)
+    return fail_links(capacities, failed), failed
+
+
+def surviving_network(
+    network: ClosNetwork, failed_middles: Iterable[int]
+) -> Tuple[ClosNetwork, Dict[int, int]]:
+    """A Clos network with the failed middle switches removed.
+
+    Routers that are failure-aware route in the surviving network; the
+    returned map sends surviving middle indices (1-based, contiguous)
+    back to the original indices so routings can be translated.
+    """
+    dead = set(failed_middles)
+    survivors = [
+        m for m in range(1, network.num_middles + 1) if m not in dead
+    ]
+    if not survivors:
+        raise ValueError("all middle switches failed")
+    smaller = ClosNetwork(network.n, middle_count=len(survivors))
+    index_map = {new: old for new, old in enumerate(survivors, start=1)}
+    return smaller, index_map

@@ -1,0 +1,11 @@
+"""Graph substrates: a capacity-annotated digraph and bipartite multigraphs."""
+
+from repro.graph.bipartite import BipartiteMultigraph, build_multigraph
+from repro.graph.digraph import INFINITE_CAPACITY, DiGraph
+
+__all__ = [
+    "BipartiteMultigraph",
+    "DiGraph",
+    "INFINITE_CAPACITY",
+    "build_multigraph",
+]

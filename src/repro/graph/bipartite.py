@@ -1,0 +1,151 @@
+"""Bipartite multigraphs over flow collections.
+
+The paper uses two *demand* multigraphs built from a collection of flows:
+
+- ``G^MS`` (§3, Lemma 3.2): start nodes are the *sources* of the
+  macro-switch, end nodes are the *destinations*, and there is one
+  parallel edge per flow.  A maximum matching in ``G^MS`` characterizes a
+  maximum-throughput allocation.
+
+- ``G^C`` (§5, Lemma 5.2): start nodes are the *input switches* of the
+  Clos network, end nodes are the *output switches*, and there is one
+  parallel edge per flow, identified by its input–output switch pair.  An
+  ``n``-edge-coloring of ``G^C`` (König) corresponds to a link-disjoint
+  routing of the flows through the ``n`` middle switches.
+
+Because parallel edges matter (multiple flows may share endpoints), this
+is a genuine *multigraph*: every edge carries a distinct hashable key
+(we use the flow itself).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+Node = Hashable
+EdgeKey = Hashable
+#: A multigraph edge: (left endpoint, right endpoint, key).
+Edge = Tuple[Node, Node, EdgeKey]
+
+
+class BipartiteMultigraph:
+    """A bipartite multigraph with keyed parallel edges.
+
+    >>> g = BipartiteMultigraph()
+    >>> g.add_edge("u", "v", key="f1")
+    >>> g.add_edge("u", "v", key="f2")
+    >>> g.degree("u")
+    2
+    >>> g.max_degree()
+    2
+    """
+
+    def __init__(self) -> None:
+        self._left: Set[Node] = set()
+        self._right: Set[Node] = set()
+        # key -> (left, right); insertion-ordered
+        self._edges: Dict[EdgeKey, Tuple[Node, Node]] = {}
+        self._incident_left: Dict[Node, List[EdgeKey]] = {}
+        self._incident_right: Dict[Node, List[EdgeKey]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_left(self, node: Node) -> None:
+        """Register ``node`` on the left side (idempotent)."""
+        if node in self._right:
+            raise ValueError(f"node {node!r} already on the right side")
+        self._left.add(node)
+        self._incident_left.setdefault(node, [])
+
+    def add_right(self, node: Node) -> None:
+        """Register ``node`` on the right side (idempotent)."""
+        if node in self._left:
+            raise ValueError(f"node {node!r} already on the left side")
+        self._right.add(node)
+        self._incident_right.setdefault(node, [])
+
+    def add_edge(self, left: Node, right: Node, key: EdgeKey) -> None:
+        """Add a parallel edge ``left -- right`` identified by ``key``.
+
+        Endpoints are registered on their sides if new.  Keys must be
+        unique across the whole graph.
+        """
+        if key in self._edges:
+            raise ValueError(f"duplicate edge key: {key!r}")
+        self.add_left(left)
+        self.add_right(right)
+        self._edges[key] = (left, right)
+        self._incident_left[left].append(key)
+        self._incident_right[right].append(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def left_nodes(self) -> List[Node]:
+        return sorted(self._left, key=repr)
+
+    @property
+    def right_nodes(self) -> List[Node]:
+        return sorted(self._right, key=repr)
+
+    @property
+    def edge_keys(self) -> List[EdgeKey]:
+        """All edge keys, in insertion order."""
+        return list(self._edges)
+
+    def edges(self) -> List[Edge]:
+        """All edges as ``(left, right, key)`` triples, insertion order."""
+        return [(u, v, k) for k, (u, v) in self._edges.items()]
+
+    def endpoints(self, key: EdgeKey) -> Tuple[Node, Node]:
+        """The ``(left, right)`` endpoints of edge ``key``."""
+        return self._edges[key]
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def incident(self, node: Node) -> List[EdgeKey]:
+        """Edge keys incident to ``node`` (on either side)."""
+        if node in self._left:
+            return list(self._incident_left[node])
+        if node in self._right:
+            return list(self._incident_right[node])
+        raise KeyError(node)
+
+    def degree(self, node: Node) -> int:
+        """Number of parallel edges incident to ``node``."""
+        return len(self.incident(node))
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (0 for an empty graph)."""
+        degrees = [len(ks) for ks in self._incident_left.values()]
+        degrees += [len(ks) for ks in self._incident_right.values()]
+        return max(degrees, default=0)
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Distinct opposite-side endpoints of edges at ``node``."""
+        if node in self._left:
+            seen = {self._edges[k][1] for k in self._incident_left[node]}
+        elif node in self._right:
+            seen = {self._edges[k][0] for k in self._incident_right[node]}
+        else:
+            raise KeyError(node)
+        return sorted(seen, key=repr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(left={len(self._left)},"
+            f" right={len(self._right)}, edges={len(self._edges)})"
+        )
+
+
+def build_multigraph(
+    pairs: Iterable[Tuple[Node, Node, EdgeKey]],
+) -> BipartiteMultigraph:
+    """Build a :class:`BipartiteMultigraph` from ``(left, right, key)`` triples."""
+    graph = BipartiteMultigraph()
+    for left, right, key in pairs:
+        graph.add_edge(left, right, key)
+    return graph

@@ -1,0 +1,152 @@
+"""A minimal capacity-annotated directed graph.
+
+This module provides the graph substrate used by every topology in the
+library.  It is deliberately small: the Clos network :class:`C_n` and its
+macro-switch abstraction :class:`MS_n` (see :mod:`repro.core.topology`)
+only need node/link bookkeeping, per-link capacities, and adjacency
+queries.  We implement it from scratch rather than depending on networkx
+so that the core library stands alone; networkx is used in the test suite
+purely as an oracle.
+
+Nodes may be any hashable object.  Links are ordered pairs ``(u, v)``.
+This is a *simple* directed graph — at most one link per ordered pair —
+which matches the Clos/macro-switch topologies of the paper (multiplicity
+lives in the *flow collection*, not in the topology; see
+:mod:`repro.graph.bipartite` for the multigraphs over flows).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, Iterator, List, Set, Tuple, Union
+
+Node = Hashable
+Link = Tuple[Node, Node]
+Capacity = Union[int, float, Fraction]
+
+#: Sentinel capacity for links that can never be saturated (the links
+#: between ToR switches inside a macro-switch).  We use ``float("inf")``,
+#: which composes with both float and Fraction arithmetic under min()/
+#: comparison as used by the water-filling algorithm.
+INFINITE_CAPACITY: float = float("inf")
+
+
+class DiGraph:
+    """A directed graph with per-link capacities.
+
+    >>> g = DiGraph()
+    >>> g.add_node("a")
+    >>> g.add_link("a", "b", capacity=2)
+    >>> g.capacity("a", "b")
+    2
+    >>> sorted(g.successors("a"))
+    ['b']
+    """
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._capacity: Dict[Link, Capacity] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` to the graph (idempotent)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_link(self, u: Node, v: Node, capacity: Capacity = 1) -> None:
+        """Add the link ``(u, v)`` with the given ``capacity``.
+
+        Both endpoints are added if absent.  Re-adding an existing link
+        overwrites its capacity.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        self._capacity[(u, v)] = capacity
+
+    def remove_link(self, u: Node, v: Node) -> None:
+        """Remove the link ``(u, v)``; raises ``KeyError`` if absent."""
+        del self._capacity[(u, v)]
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    @property
+    def links(self) -> List[Link]:
+        """All links, in insertion order."""
+        return list(self._capacity)
+
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    def num_links(self) -> int:
+        return len(self._capacity)
+
+    def has_node(self, node: Node) -> bool:
+        return node in self._succ
+
+    def has_link(self, u: Node, v: Node) -> bool:
+        return (u, v) in self._capacity
+
+    def capacity(self, u: Node, v: Node) -> Capacity:
+        """Capacity of link ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._capacity[(u, v)]
+
+    def capacities(self) -> Dict[Link, Capacity]:
+        """A copy of the link → capacity map."""
+        return dict(self._capacity)
+
+    def successors(self, node: Node) -> Iterator[Node]:
+        return iter(self._succ[node])
+
+    def predecessors(self, node: Node) -> Iterator[Node]:
+        return iter(self._pred[node])
+
+    def out_degree(self, node: Node) -> int:
+        return len(self._succ[node])
+
+    def in_degree(self, node: Node) -> int:
+        return len(self._pred[node])
+
+    # ------------------------------------------------------------------
+    # Path utilities
+    # ------------------------------------------------------------------
+    def is_path(self, path: Iterable[Node]) -> bool:
+        """True if ``path`` is a sequence of nodes joined by links."""
+        nodes = list(path)
+        if not nodes:
+            return False
+        if len(nodes) == 1:
+            return self.has_node(nodes[0])
+        return all(self.has_link(u, v) for u, v in zip(nodes, nodes[1:]))
+
+    def path_links(self, path: Iterable[Node]) -> List[Link]:
+        """The list of links along ``path`` (validates the path).
+
+        Raises ``ValueError`` if ``path`` is not a path in this graph.
+        """
+        nodes = list(path)
+        if not self.is_path(nodes):
+            raise ValueError(f"not a path in this graph: {nodes!r}")
+        return list(zip(nodes, nodes[1:]))
+
+    def __contains__(self, node: Node) -> bool:
+        return self.has_node(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes()},"
+            f" links={self.num_links()})"
+        )

@@ -1,0 +1,5 @@
+"""Scenario serialization: shareable, exact, round-trippable experiment inputs."""
+
+from repro.io.serialize import FORMAT_NAME, FORMAT_VERSION, Scenario, ScenarioError
+
+__all__ = ["FORMAT_NAME", "FORMAT_VERSION", "Scenario", "ScenarioError"]

@@ -1,0 +1,15 @@
+"""LP substrate: scipy-based cross-checks and relaxations."""
+
+from repro.lp.feasibility import find_feasible_routing, splittable_feasible
+from repro.lp.maxthroughput import max_throughput_lp, max_throughput_lp_macro
+from repro.lp.progressive_filling import max_min_fair_lp
+from repro.lp.splittable_maxmin import splittable_max_min_fair
+
+__all__ = [
+    "find_feasible_routing",
+    "max_min_fair_lp",
+    "max_throughput_lp",
+    "max_throughput_lp_macro",
+    "splittable_feasible",
+    "splittable_max_min_fair",
+]

@@ -1,0 +1,15 @@
+"""Bipartite maximum matching (Lemma 3.2's characterization of max throughput)."""
+
+from repro.matching.augmenting import maximum_matching_simple
+from repro.matching.hopcroft_karp import (
+    is_matching,
+    maximum_matching,
+    maximum_matching_size,
+)
+
+__all__ = [
+    "is_matching",
+    "maximum_matching",
+    "maximum_matching_simple",
+    "maximum_matching_size",
+]

@@ -1,0 +1,22 @@
+"""Multirate rearrangeability: sizing the middle stage to replicate macro rates."""
+
+from repro.rearrange.first_fit import first_fit_decreasing, split_first_fit
+from repro.rearrange.minimize import (
+    RearrangeResult,
+    conjectured_worst_case,
+    known_lower_bound,
+    known_upper_bound,
+    minimum_middles_exact,
+    minimum_middles_heuristic,
+)
+
+__all__ = [
+    "RearrangeResult",
+    "conjectured_worst_case",
+    "first_fit_decreasing",
+    "known_lower_bound",
+    "known_upper_bound",
+    "minimum_middles_exact",
+    "minimum_middles_heuristic",
+    "split_first_fit",
+]

@@ -1,0 +1,151 @@
+"""First-fit routing heuristics for multirate rearrangeability (§6).
+
+The multirate-rearrangeability literature the paper reviews (Chung &
+Ross; Melen & Turner; Ngo & Vu; Khan & Singh) asks: given a feasible
+macro-switch allocation, how many middle switches ``m`` does a Clos
+fabric need so that *some* routing replicates the allocation?  The
+known attack is "combinations of first-fit heuristics with König's
+theorem"; this module implements that toolbox:
+
+- :func:`first_fit_decreasing` — classic FFD bin packing: flows in
+  decreasing demand order, each to the first middle switch whose two
+  links still fit it.
+- :func:`split_first_fit` — the rate-split refinement from the
+  literature: route the *unit-rate* flows link-disjointly via König
+  coloring (they pack perfectly), then first-fit the fractional rest —
+  on the paper's adversarial instances this is exactly the structure
+  the proofs exploit.
+
+Both return a feasible :class:`Routing` or ``None``; neither is exact
+(see :func:`repro.rearrange.minimize.minimum_middles_exact` for the
+certified minimum).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.coloring.konig import ColoringError, edge_coloring
+from repro.core.flows import Flow, FlowCollection
+from repro.core.nodes import InputSwitch, OutputSwitch
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.graph.bipartite import BipartiteMultigraph
+
+Rate = Fraction
+
+
+class _Residuals:
+    """Residual capacities of the interior links, shared by the heuristics."""
+
+    def __init__(self, network: ClosNetwork) -> None:
+        self.network = network
+        self.up: Dict[Tuple[int, int], Rate] = {}
+        self.down: Dict[Tuple[int, int], Rate] = {}
+        for i in range(1, 2 * network.n + 1):
+            for m in range(1, network.num_middles + 1):
+                self.up[(i, m)] = Fraction(1)
+                self.down[(m, i)] = Fraction(1)
+
+    def fits(self, flow: Flow, m: int, demand: Rate) -> bool:
+        return (
+            self.up[(flow.source.switch, m)] >= demand
+            and self.down[(m, flow.dest.switch)] >= demand
+        )
+
+    def place(self, flow: Flow, m: int, demand: Rate) -> None:
+        self.up[(flow.source.switch, m)] -= demand
+        self.down[(m, flow.dest.switch)] -= demand
+
+
+def _server_links_ok(flows: FlowCollection, demands: Mapping[Flow, Rate]) -> bool:
+    for _, members in flows.by_source().items():
+        if sum(Fraction(demands[f]) for f in members) > 1:
+            return False
+    for _, members in flows.by_destination().items():
+        if sum(Fraction(demands[f]) for f in members) > 1:
+            return False
+    return True
+
+
+def first_fit_decreasing(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    demands: Mapping[Flow, Rate],
+) -> Optional[Routing]:
+    """FFD: largest demand first, lowest-index middle switch that fits."""
+    if not _server_links_ok(flows, demands):
+        return None
+    residuals = _Residuals(network)
+    assignment: Dict[Flow, int] = {}
+    order = sorted(flows, key=lambda f: (-Fraction(demands[f]), f.source, f.dest, f.tag))
+    for flow in order:
+        demand = Fraction(demands[flow])
+        placed = False
+        for m in range(1, network.num_middles + 1):
+            if residuals.fits(flow, m, demand):
+                residuals.place(flow, m, demand)
+                assignment[flow] = m
+                placed = True
+                break
+        if not placed:
+            return None
+    return Routing.from_middles(network, flows, assignment)
+
+
+def split_first_fit(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    demands: Mapping[Flow, Rate],
+    threshold: Rate = Fraction(1),
+) -> Optional[Routing]:
+    """König-route the ≥``threshold``-rate flows, first-fit the rest.
+
+    With ``threshold = 1`` the König stage handles exactly the
+    unit-rate flows (which must ride alone on their interior links), the
+    regime where FFD's tie-breaking wastes capacity.  Falls back to
+    ``None`` when the heavy flows alone need more than ``num_middles``
+    colors or the light flows do not fit afterwards.
+    """
+    if not _server_links_ok(flows, demands):
+        return None
+    heavy = [f for f in flows if Fraction(demands[f]) >= threshold]
+    light = [f for f in flows if Fraction(demands[f]) < threshold]
+
+    residuals = _Residuals(network)
+    assignment: Dict[Flow, int] = {}
+
+    if heavy:
+        graph = BipartiteMultigraph()
+        for flow in heavy:
+            graph.add_edge(
+                InputSwitch(flow.source.switch),
+                OutputSwitch(flow.dest.switch),
+                key=flow,
+            )
+        try:
+            colors = edge_coloring(graph, num_colors=network.num_middles)
+        except ColoringError:
+            return None
+        for flow, color in colors.items():
+            m = color + 1
+            demand = Fraction(demands[flow])
+            if not residuals.fits(flow, m, demand):
+                return None
+            residuals.place(flow, m, demand)
+            assignment[flow] = m
+
+    order = sorted(light, key=lambda f: (-Fraction(demands[f]), f.source, f.dest, f.tag))
+    for flow in order:
+        demand = Fraction(demands[flow])
+        placed = False
+        for m in range(1, network.num_middles + 1):
+            if residuals.fits(flow, m, demand):
+                residuals.place(flow, m, demand)
+                assignment[flow] = m
+                placed = True
+                break
+        if not placed:
+            return None
+    return Routing.from_middles(network, flows, assignment)

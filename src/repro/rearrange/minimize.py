@@ -1,0 +1,114 @@
+"""Minimum middle-switch counts for replicating macro-switch allocations.
+
+The central quantity of the multirate-rearrangeability line of work the
+paper reviews in §6: given a feasible macro-switch allocation, the
+smallest ``m`` such that the Clos fabric with ``m`` middle switches
+(same ToRs and servers) admits a routing carrying every flow at its
+allocated rate.  The famous conjecture (Chung & Ross) puts the worst
+case at ``m = 2n − 1``; the best known bounds are ``⌈5n/4⌉`` (lower)
+and ``⌈20n/9⌉`` (upper).
+
+- :func:`minimum_middles_exact` — certified minimum by incrementing
+  ``m`` and running the exhaustive routing search (small instances).
+- :func:`minimum_middles_heuristic` — upper bound via the first-fit /
+  split-first-fit heuristics (any instance the heuristics solve).
+
+Experiment E10 applies both to the paper's Theorem 4.2 construction:
+the macro rates are unroutable at ``m = n`` (that *is* Theorem 4.2) —
+how many extra middle switches repair it?
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, NamedTuple, Optional
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.lp.feasibility import find_feasible_routing
+from repro.rearrange.first_fit import first_fit_decreasing, split_first_fit
+
+Rate = Fraction
+
+
+class RearrangeResult(NamedTuple):
+    """The minimum middle count found and a witness routing."""
+
+    num_middles: int
+    routing: Routing
+    #: Network the witness routing lives in (middle_count = num_middles).
+    network: ClosNetwork
+    #: "exact", "ffd", or "split" — how the witness was found.
+    method: str
+
+
+def _expanded(n: int, m: int) -> ClosNetwork:
+    return ClosNetwork(n, middle_count=m)
+
+
+def minimum_middles_exact(
+    n: int,
+    flows: FlowCollection,
+    demands: Mapping[Flow, Rate],
+    max_middles: Optional[int] = None,
+) -> RearrangeResult:
+    """Certified minimum ``m`` by exhaustive search per candidate count.
+
+    ``max_middles`` defaults to ``2n − 1`` (the conjectured worst case);
+    raises ``ValueError`` if no count up to the cap works — which, for
+    demands feasible in the macro-switch, would disprove the known
+    ``⌈20n/9⌉`` upper bound, so it indicates infeasible inputs instead.
+    """
+    if max_middles is None:
+        max_middles = max(2 * n - 1, (20 * n + 8) // 9)
+    for m in range(1, max_middles + 1):
+        network = _expanded(n, m)
+        routing = find_feasible_routing(network, flows, demands)
+        if routing is not None:
+            return RearrangeResult(m, routing, network, "exact")
+    raise ValueError(
+        f"no middle count up to {max_middles} carries the demands —"
+        " are they feasible in the macro-switch?"
+    )
+
+
+def minimum_middles_heuristic(
+    n: int,
+    flows: FlowCollection,
+    demands: Mapping[Flow, Rate],
+    max_middles: Optional[int] = None,
+) -> RearrangeResult:
+    """Upper bound on the minimum ``m`` via FFD and split-first-fit.
+
+    For each candidate count both heuristics are tried; the first
+    success wins.  Always ≥ the exact minimum.
+    """
+    if max_middles is None:
+        max_middles = max(2 * n - 1, (20 * n + 8) // 9) + n
+    for m in range(1, max_middles + 1):
+        network = _expanded(n, m)
+        routing = split_first_fit(network, flows, demands)
+        if routing is not None:
+            return RearrangeResult(m, routing, network, "split")
+        routing = first_fit_decreasing(network, flows, demands)
+        if routing is not None:
+            return RearrangeResult(m, routing, network, "ffd")
+    raise ValueError(
+        f"heuristics failed for every middle count up to {max_middles}"
+    )
+
+
+def conjectured_worst_case(n: int) -> int:
+    """Chung & Ross's conjectured sufficient middle count: ``2n − 1``."""
+    return 2 * n - 1
+
+
+def known_upper_bound(n: int) -> int:
+    """Khan & Singh's proven sufficient middle count: ``⌈20n/9⌉``."""
+    return -(-20 * n // 9)
+
+
+def known_lower_bound(n: int) -> int:
+    """Ngo & Vu's necessary middle count in the worst case: ``⌈5n/4⌉``."""
+    return -(-5 * n // 4)

@@ -1,0 +1,19 @@
+"""Data-center routing algorithms (§6): ECMP, greedy, congestion local search."""
+
+from repro.routers.congestion_local_search import (
+    local_search_congestion,
+    max_congestion,
+)
+from repro.routers.ecmp import ecmp_routing, random_routing
+from repro.routers.greedy import greedy_least_congested, macro_switch_demands
+from repro.routers.two_choice import two_choice_routing
+
+__all__ = [
+    "ecmp_routing",
+    "greedy_least_congested",
+    "local_search_congestion",
+    "macro_switch_demands",
+    "max_congestion",
+    "random_routing",
+    "two_choice_routing",
+]

@@ -1,0 +1,92 @@
+"""Local-search congestion minimization (§6's local-search family).
+
+Starting from any routing (typically greedy or ECMP), repeatedly move a
+single flow to a different middle switch whenever the move reduces the
+network's congestion profile, where the *congestion* of a link is total
+demand / capacity and profiles are compared by their sorted vectors in
+decreasing order (so reducing the most congested link matters first —
+the standard "min-max congestion, then next, ..." refinement).
+
+This is the demand-oblivious counterpart of
+:mod:`repro.search.local_search` (which optimizes actual max-min-fair
+rate vectors): it only sees demands, like real traffic-engineering
+systems, and is therefore much cheaper per move.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.routers.greedy import macro_switch_demands
+
+
+def _congestion_profile(
+    network: ClosNetwork,
+    middles: Mapping[Flow, int],
+    demands: Mapping[Flow, Fraction],
+) -> List[Fraction]:
+    """Interior-link congestions, sorted descending (unit capacities)."""
+    n = network.num_middles
+    up: Dict[Tuple[int, int], Fraction] = {}
+    down: Dict[Tuple[int, int], Fraction] = {}
+    for flow, m in middles.items():
+        demand = Fraction(demands[flow])
+        i, o = flow.source.switch, flow.dest.switch
+        up[(i, m)] = up.get((i, m), Fraction(0)) + demand
+        down[(m, o)] = down.get((m, o), Fraction(0)) + demand
+    return sorted(list(up.values()) + list(down.values()), reverse=True)
+
+
+def max_congestion(
+    network: ClosNetwork,
+    routing: Routing,
+    demands: Mapping[Flow, Fraction],
+) -> Fraction:
+    """The maximum interior-link congestion of ``routing`` under ``demands``."""
+    profile = _congestion_profile(network, routing.middles(network), demands)
+    return profile[0] if profile else Fraction(0)
+
+
+def local_search_congestion(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    initial: Optional[Routing] = None,
+    demands: Optional[Mapping[Flow, Fraction]] = None,
+    max_rounds: int = 100,
+) -> Routing:
+    """Hill-climb on the sorted congestion profile with single-flow moves.
+
+    ``initial`` defaults to routing every flow through middle switch 1
+    (so the search's progress is visible even without a greedy warm
+    start); pass a greedy routing for the production configuration.
+    """
+    if demands is None:
+        demands = macro_switch_demands(network, flows)
+    if initial is None:
+        initial = Routing.uniform(network, flows, 1)
+
+    middles = dict(initial.middles(network))
+    best_profile = _congestion_profile(network, middles, demands)
+    for _ in range(max_rounds):
+        improved = False
+        for flow in list(middles):
+            here = middles[flow]
+            for m in range(1, network.num_middles + 1):
+                if m == here:
+                    continue
+                middles[flow] = m
+                profile = _congestion_profile(network, middles, demands)
+                if profile < best_profile:
+                    best_profile = profile
+                    improved = True
+                    break
+                middles[flow] = here
+            if improved:
+                break
+        if not improved:
+            break
+    return Routing.from_middles(network, flows, middles)

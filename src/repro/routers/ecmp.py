@@ -1,0 +1,54 @@
+"""ECMP — Equal-Cost Multi-Path routing (§6, "the long-standing algorithm").
+
+ECMP assigns each flow to one of its equal-cost source–destination paths
+chosen (pseudo-)uniformly at random, typically by hashing the flow
+5-tuple.  We model the hash as a seeded PRNG draw per flow, which is
+deterministic given ``seed`` and independent of the order flows are
+presented in (each flow hashes its own identity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+
+
+def _flow_hash(flow: Flow, seed: int) -> int:
+    """A stable per-flow hash (independent of PYTHONHASHSEED)."""
+    payload = repr((flow.source, flow.dest, flow.tag, seed)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def ecmp_routing(
+    network: ClosNetwork, flows: FlowCollection, seed: int = 0
+) -> Routing:
+    """Hash-based ECMP: each flow picks a middle switch from its own hash.
+
+    >>> clos = ClosNetwork(2)
+    >>> from repro.workloads.stochastic import permutation
+    >>> routing = ecmp_routing(clos, permutation(clos, seed=1))
+    >>> len(routing) == 2 * clos.n ** 2
+    True
+    """
+    middles: Dict[Flow, int] = {
+        flow: (_flow_hash(flow, seed) % network.num_middles) + 1 for flow in flows
+    }
+    return Routing.from_middles(network, flows, middles)
+
+
+def random_routing(
+    network: ClosNetwork, flows: FlowCollection, seed: int = 0
+) -> Routing:
+    """Per-flow independent uniform choice via a shared PRNG stream.
+
+    Unlike :func:`ecmp_routing` the outcome depends on flow order; used
+    as a randomized baseline in ablations.
+    """
+    rng = random.Random(seed)
+    middles = {flow: rng.randint(1, network.num_middles) for flow in flows}
+    return Routing.from_middles(network, flows, middles)

@@ -1,0 +1,76 @@
+"""Greedy congestion-aware routing (§6's Hedera/CONGA family).
+
+State-of-the-art data-center routing algorithms "assume that flows are
+offered to the data-center with their macro-switch rates, and their goal
+is to minimize maximum link congestion", assigning each flow to the path
+of least congestion (§6).  This module implements that family:
+
+1. Compute each flow's macro-switch max-min rate (its *demand*).
+2. Process flows in decreasing demand order (elephants first — the
+   first-fit-decreasing heuristic the multirate-rearrangeability
+   literature uses).
+3. Assign each flow to the middle switch minimizing the resulting *path
+   congestion* — the maximum over the path's links of (total demand on
+   the link) / capacity.
+
+The router returns a routing; callers then apply the *actual* congestion
+control (water-filling) to see what rates materialize.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.objectives import macro_switch_max_min
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+
+def macro_switch_demands(
+    network: ClosNetwork, flows: FlowCollection
+) -> Dict[Flow, Fraction]:
+    """Each flow's macro-switch max-min fair rate (the demand greedy uses)."""
+    macro = MacroSwitch(network.n)
+    allocation = macro_switch_max_min(macro, flows)
+    return allocation.rates()
+
+
+def greedy_least_congested(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    demands: Optional[Mapping[Flow, Fraction]] = None,
+) -> Routing:
+    """First-fit-decreasing assignment to the least-congested path.
+
+    ``demands`` defaults to the macro-switch max-min rates.  Ties between
+    equally congested paths break toward the lowest middle-switch index,
+    making the router deterministic.
+    """
+    if demands is None:
+        demands = macro_switch_demands(network, flows)
+
+    n = network.num_middles
+    up: Dict[Tuple[int, int], Fraction] = {}
+    down: Dict[Tuple[int, int], Fraction] = {}
+    for i in range(1, 2 * network.n + 1):
+        for m in range(1, n + 1):
+            up[(i, m)] = Fraction(0)
+            down[(m, i)] = Fraction(0)
+
+    order = sorted(flows, key=lambda f: (-demands[f], f.source, f.dest, f.tag))
+    middles: Dict[Flow, int] = {}
+    for flow in order:
+        demand = Fraction(demands[flow])
+        i, o = flow.source.switch, flow.dest.switch
+        best_m, best_congestion = 1, None
+        for m in range(1, n + 1):
+            congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
+            if best_congestion is None or congestion < best_congestion:
+                best_m, best_congestion = m, congestion
+        middles[flow] = best_m
+        up[(i, best_m)] += demand
+        down[(best_m, o)] += demand
+
+    return Routing.from_middles(network, flows, middles)

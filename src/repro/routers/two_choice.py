@@ -1,0 +1,69 @@
+"""Power-of-two-choices routing — distributed load balancing, localized.
+
+ECMP hashes blindly; the greedy router needs global congestion state.
+The classic middle ground from randomized load balancing (Azar et al.'s
+"power of two choices") samples ``d`` random paths per flow and picks
+the least congested among them — a *constant amount* of state probing
+per flow that captures most of the benefit of full greedy placement.
+We include it as a third point on §6's spectrum of routers: blind
+(ECMP) → sampled (two-choice) → global greedy.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.routers.greedy import macro_switch_demands
+
+
+def two_choice_routing(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    demands: Optional[Mapping[Flow, Fraction]] = None,
+    choices: int = 2,
+    seed: int = 0,
+) -> Routing:
+    """Sample ``choices`` middle switches per flow; take the least congested.
+
+    Congestion of a candidate is the resulting maximum of the flow's two
+    interior-link loads (demand-weighted, like the greedy router).
+    ``demands`` defaults to the macro-switch max-min rates.  With
+    ``choices = 1`` this degenerates to random routing; with
+    ``choices = num_middles`` it becomes the greedy router in arrival
+    order.
+    """
+    if choices < 1:
+        raise ValueError(f"choices must be >= 1, got {choices}")
+    if demands is None:
+        demands = macro_switch_demands(network, flows)
+
+    rng = random.Random(seed)
+    num_middles = network.num_middles
+    up: Dict[Tuple[int, int], Fraction] = {}
+    down: Dict[Tuple[int, int], Fraction] = {}
+    for i in range(1, 2 * network.n + 1):
+        for m in range(1, num_middles + 1):
+            up[(i, m)] = Fraction(0)
+            down[(m, i)] = Fraction(0)
+
+    middles: Dict[Flow, int] = {}
+    for flow in flows:
+        demand = Fraction(demands[flow])
+        i, o = flow.source.switch, flow.dest.switch
+        sample_size = min(choices, num_middles)
+        candidates = rng.sample(range(1, num_middles + 1), sample_size)
+        best_m, best_congestion = None, None
+        for m in candidates:
+            congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
+            if best_congestion is None or congestion < best_congestion:
+                best_m, best_congestion = m, congestion
+        middles[flow] = best_m
+        up[(i, best_m)] += demand
+        down[(best_m, o)] += demand
+
+    return Routing.from_middles(network, flows, middles)

@@ -1,0 +1,21 @@
+"""Routing-space search: symmetry-reduced enumeration and local search."""
+
+from repro.search.enumeration import (
+    all_assignments,
+    canonical_assignments,
+    enumerate_routings,
+    routing_space_size,
+)
+from repro.search.annealing import anneal, multi_start
+from repro.search.local_search import improve_routing, is_local_optimum
+
+__all__ = [
+    "all_assignments",
+    "anneal",
+    "canonical_assignments",
+    "enumerate_routings",
+    "improve_routing",
+    "is_local_optimum",
+    "multi_start",
+    "routing_space_size",
+]

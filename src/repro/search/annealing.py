@@ -1,0 +1,131 @@
+"""Multi-start and annealed search over routings.
+
+Single-run hill climbing (:mod:`repro.search.local_search`) gets stuck
+in local optima (A2 measures how often).  Two standard escapes, both
+exact-arithmetic-friendly:
+
+- :func:`multi_start` — repeat hill climbing from several random
+  routings and keep the best result; the embarrassingly parallel
+  baseline for global search.
+- :func:`anneal` — simulated annealing on single-flow moves: accept
+  every improving move, accept worsening moves with probability
+  ``exp(−Δ/T)`` under a geometric cooling schedule, then polish with a
+  final hill climb.  ``Δ`` is measured on a scalar projection of the
+  objective (throughput, or minimum+mean rate for "lex"), since
+  lexicographic differences have no natural magnitude.
+
+Both return the same ``(routing, allocation)`` pair as
+:func:`repro.search.local_search.improve_routing` and never return
+anything worse than plain hill climbing from the same budget.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Tuple
+
+from repro.core.allocation import Allocation, lex_compare
+from repro.core.flows import FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.search.local_search import _is_better, improve_routing
+
+
+def _random_routing(
+    network: ClosNetwork, flows: FlowCollection, rng: random.Random
+) -> Routing:
+    middles = {
+        flow: rng.randint(1, network.num_middles) for flow in flows
+    }
+    return Routing.from_middles(network, flows, middles)
+
+
+def multi_start(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    objective: str = "lex",
+    starts: int = 5,
+    exact: bool = True,
+    seed: int = 0,
+) -> Tuple[Routing, Allocation]:
+    """Best-of-``starts`` hill climbs from random initial routings."""
+    if starts < 1:
+        raise ValueError(f"starts must be >= 1, got {starts}")
+    rng = random.Random(seed)
+    best: Optional[Tuple[Routing, Allocation]] = None
+    for _ in range(starts):
+        start = _random_routing(network, flows, rng)
+        routing, allocation = improve_routing(
+            network, start, objective=objective, exact=exact
+        )
+        if best is None or _is_better(objective, allocation, best[1]):
+            best = (routing, allocation)
+    return best
+
+
+def _scalar(objective: str, allocation: Allocation) -> float:
+    """A scalar proxy of the objective for annealing's Δ computation."""
+    vector = allocation.sorted_vector()
+    if objective == "throughput":
+        return float(allocation.throughput())
+    if objective == "lex":
+        # minimum rate dominates, mean breaks ties: a smooth-ish proxy
+        # for lexicographic improvement on the low end of the vector.
+        minimum = float(vector[0]) if vector else 0.0
+        mean = float(sum(vector)) / len(vector) if vector else 0.0
+        return minimum + 1e-3 * mean
+    raise ValueError(f"unknown objective: {objective!r}")
+
+
+def anneal(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    objective: str = "lex",
+    steps: int = 200,
+    initial_temperature: float = 0.2,
+    cooling: float = 0.98,
+    exact: bool = True,
+    seed: int = 0,
+) -> Tuple[Routing, Allocation]:
+    """Simulated annealing over single-flow moves, then a final polish.
+
+    The returned pair is the best allocation *seen* during the walk
+    (after hill-climb polishing), so the result is never worse than
+    plain hill climbing from the same start.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if not 0 < cooling < 1:
+        raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+    rng = random.Random(seed)
+    capacities = network.graph.capacities()
+
+    current = _random_routing(network, flows, rng)
+    current_alloc = max_min_fair(current, capacities, exact=exact)
+    best, best_alloc = current, current_alloc
+
+    temperature = initial_temperature
+    flow_list = list(flows)
+    for _ in range(steps):
+        flow = rng.choice(flow_list)
+        move_to = rng.randint(1, network.num_middles)
+        candidate = current.reassigned(network, flow, move_to)
+        candidate_alloc = max_min_fair(candidate, capacities, exact=exact)
+
+        delta = _scalar(objective, candidate_alloc) - _scalar(
+            objective, current_alloc
+        )
+        if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-9)):
+            current, current_alloc = candidate, candidate_alloc
+            if _is_better(objective, current_alloc, best_alloc):
+                best, best_alloc = current, current_alloc
+        temperature *= cooling
+
+    polished, polished_alloc = improve_routing(
+        network, best, objective=objective, exact=exact
+    )
+    if _is_better(objective, polished_alloc, best_alloc):
+        return polished, polished_alloc
+    return best, best_alloc

@@ -1,0 +1,114 @@
+"""Hill-climbing local search over routings.
+
+For instances whose routing space is too large to enumerate, we improve a
+starting routing by repeatedly moving a single flow to a different middle
+switch whenever the move improves the objective.  Two objectives mirror
+the paper's Definitions 2.4 and 2.5:
+
+- ``objective="lex"`` — the sorted rate vector of the max-min fair
+  allocation, compared lexicographically (lex-max-min fairness);
+- ``objective="throughput"`` — the throughput of the max-min fair
+  allocation (throughput-max-min fairness), with the sorted vector as a
+  tie-break.
+
+Local search gives *lower bounds* on the optima — exactly the role it
+plays in our Theorem 4.3 verification: the paper proves the closed-form
+lex-max-min allocation optimal, and we confirm that no single-flow move
+beats it (the optimum must be a local optimum).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.allocation import Allocation, lex_compare
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+
+
+def _is_better(
+    objective: str,
+    candidate: Allocation,
+    incumbent: Allocation,
+) -> bool:
+    if objective == "lex":
+        return (
+            lex_compare(candidate.sorted_vector(), incumbent.sorted_vector()) > 0
+        )
+    if objective == "throughput":
+        if candidate.throughput() != incumbent.throughput():
+            return candidate.throughput() > incumbent.throughput()
+        return (
+            lex_compare(candidate.sorted_vector(), incumbent.sorted_vector()) > 0
+        )
+    raise ValueError(f"unknown objective: {objective!r}")
+
+
+def improve_routing(
+    network: ClosNetwork,
+    routing: Routing,
+    objective: str = "lex",
+    exact: bool = True,
+    max_rounds: Optional[int] = None,
+    on_improvement: Optional[Callable[[Routing, Allocation], None]] = None,
+) -> Tuple[Routing, Allocation]:
+    """Hill-climb from ``routing`` using single-flow middle-switch moves.
+
+    Returns the locally optimal ``(routing, allocation)``.  Each round
+    scans every (flow, middle switch) move and applies the first
+    improving one; the search stops when a full scan finds no improving
+    move or after ``max_rounds`` rounds.
+    """
+    capacities = network.graph.capacities()
+    best_routing = routing
+    best_alloc = max_min_fair(routing, capacities, exact=exact)
+    rounds = 0
+    while max_rounds is None or rounds < max_rounds:
+        rounds += 1
+        improved = False
+        current_middles = best_routing.middles(network)
+        for flow in best_routing.flows():
+            here = current_middles[flow]
+            for m in range(1, network.num_middles + 1):
+                if m == here:
+                    continue
+                candidate_routing = best_routing.reassigned(network, flow, m)
+                candidate_alloc = max_min_fair(
+                    candidate_routing, capacities, exact=exact
+                )
+                if _is_better(objective, candidate_alloc, best_alloc):
+                    best_routing = candidate_routing
+                    best_alloc = candidate_alloc
+                    improved = True
+                    if on_improvement is not None:
+                        on_improvement(best_routing, best_alloc)
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return best_routing, best_alloc
+
+
+def is_local_optimum(
+    network: ClosNetwork,
+    routing: Routing,
+    objective: str = "lex",
+    exact: bool = True,
+) -> bool:
+    """True if no single-flow middle-switch move improves the objective."""
+    capacities = network.graph.capacities()
+    incumbent = max_min_fair(routing, capacities, exact=exact)
+    middles = routing.middles(network)
+    for flow in routing.flows():
+        here = middles[flow]
+        for m in range(1, network.num_middles + 1):
+            if m == here:
+                continue
+            candidate = max_min_fair(
+                routing.reassigned(network, flow, m), capacities, exact=exact
+            )
+            if _is_better(objective, candidate, incumbent):
+                return False
+    return True

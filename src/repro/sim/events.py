@@ -1,0 +1,64 @@
+"""A minimal discrete-event engine for flow-level simulation.
+
+The R1 discussion (§7) argues that *scheduling* — delaying some flows so
+others transmit at link capacity — can beat max-min fair congestion
+control on average flow completion time.  Evaluating that claim needs a
+flow-level simulator: flows arrive over time carrying a finite size,
+receive service at policy-determined rates, and depart when their
+remaining size hits zero.
+
+This module provides the engine: a time-ordered event queue plus the
+bookkeeping to advance "work done" between events under piecewise-
+constant rates.  Policies (how rates are chosen) live in
+:mod:`repro.sim.policies`; the driver loop in :mod:`repro.sim.flowsim`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+
+
+class Event(NamedTuple):
+    """A scheduled occurrence.  Ordering: time, then insertion order."""
+
+    time: float
+    sequence: int
+    kind: str
+    payload: Any
+
+
+class EventQueue:
+    """A stable min-heap of events keyed by time.
+
+    >>> q = EventQueue()
+    >>> q.push(2.0, "b", None)
+    >>> q.push(1.0, "a", None)
+    >>> q.pop().kind
+    'a'
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any) -> None:
+        """Schedule an event at ``time`` (ties broken by insertion order)."""
+        if time < 0:
+            raise ValueError(f"negative event time: {time}")
+        heapq.heappush(self._heap, Event(time, next(self._counter), kind, payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` if empty."""
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

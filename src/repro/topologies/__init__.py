@@ -1,0 +1,21 @@
+"""Additional data-center topologies (beyond the paper's C_n)."""
+
+from repro.topologies.fattree import (
+    AggSwitch,
+    CoreSwitch,
+    EdgeSwitch,
+    FatTree,
+    Host,
+    ecmp_fat_tree_routing,
+    host_macro_graph,
+)
+
+__all__ = [
+    "AggSwitch",
+    "CoreSwitch",
+    "EdgeSwitch",
+    "FatTree",
+    "Host",
+    "ecmp_fat_tree_routing",
+    "host_macro_graph",
+]

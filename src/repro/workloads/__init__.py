@@ -1,0 +1,37 @@
+"""Workload generators: the paper's adversarial constructions and stochastic traffic."""
+
+from repro.workloads.trace import TraceError, load_trace, save_trace
+from repro.workloads.planted import (
+    PlantedInstance,
+    planted_figure_2,
+    planted_theorem_4_3,
+)
+from repro.workloads.adversarial import (
+    AdversarialInstance,
+    example_2_3,
+    example_2_3_routings,
+    example_5_3,
+    lemma_4_6_routing,
+    theorem_3_4,
+    theorem_4_2,
+    theorem_4_3,
+    theorem_5_4,
+)
+
+__all__ = [
+    "AdversarialInstance",
+    "PlantedInstance",
+    "planted_figure_2",
+    "planted_theorem_4_3",
+    "example_2_3",
+    "example_2_3_routings",
+    "example_5_3",
+    "lemma_4_6_routing",
+    "theorem_3_4",
+    "theorem_4_2",
+    "theorem_4_3",
+    "theorem_5_4",
+    "TraceError",
+    "load_trace",
+    "save_trace",
+]

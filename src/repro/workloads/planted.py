@@ -1,0 +1,104 @@
+"""Planted adversarial gadgets inside realistic background traffic.
+
+The paper's impossibility constructions are surgically clean; a natural
+systems question is whether their pathologies survive contact with
+ordinary traffic.  These generators embed a paper gadget into a larger
+network alongside seeded random background flows, keeping the gadget's
+flows identified so experiments can track exactly the rates the
+theorems talk about:
+
+- :func:`planted_theorem_4_3` — the Figure 3 construction occupies ToR
+  switches `1..n+1`; background flows run between the remaining servers
+  (never touching the gadget's endpoints), so any interference happens
+  purely on *interior* links — the channel the macro-switch abstraction
+  claims not to exist.
+- :func:`planted_figure_2` — the price-of-fairness gadget on four
+  servers plus background, for R1-under-noise measurements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Tuple
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.nodes import Destination, Source
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.workloads.adversarial import AdversarialInstance, theorem_3_4, theorem_4_3
+
+
+class PlantedInstance(NamedTuple):
+    """A gadget embedded in background traffic."""
+
+    clos: ClosNetwork
+    macro: MacroSwitch
+    flows: FlowCollection  # gadget flows first, background after
+    gadget: AdversarialInstance  # the embedded construction (same flow objects)
+    background: List[Flow]
+
+
+def _background_servers(
+    network: ClosNetwork, reserved_switches: set
+) -> Tuple[List[Source], List[Destination]]:
+    sources = [s for s in network.sources if s.switch not in reserved_switches]
+    destinations = [
+        t for t in network.destinations if t.switch not in reserved_switches
+    ]
+    return sources, destinations
+
+
+def planted_theorem_4_3(
+    n: int = 3, num_background: int = 20, seed: int = 0
+) -> PlantedInstance:
+    """The Theorem 4.3 gadget plus background flows on untouched ToRs.
+
+    The gadget uses input/output switches ``1..n+1``; the Clos network
+    ``C_n`` has ``2n`` ToRs per side, leaving switches ``n+2..2n`` for
+    background traffic (requires ``n ≥ 3`` so at least one ToR is free).
+    """
+    gadget = theorem_4_3(n)
+    reserved = set(range(1, n + 2))
+    sources, destinations = _background_servers(gadget.clos, reserved)
+    if not sources or not destinations:
+        raise ValueError(f"no free ToR switches for background traffic at n={n}")
+
+    flows = FlowCollection(gadget.flows)
+    rng = random.Random(seed)
+    background: List[Flow] = []
+    for _ in range(num_background):
+        background.extend(
+            flows.add_pair(rng.choice(sources), rng.choice(destinations))
+        )
+    return PlantedInstance(
+        clos=gadget.clos,
+        macro=gadget.macro,
+        flows=flows,
+        gadget=gadget,
+        background=background,
+    )
+
+
+def planted_figure_2(
+    n: int = 3, k: int = 4, num_background: int = 20, seed: int = 0
+) -> PlantedInstance:
+    """The Figure 2 gadget (2 type-1 + k type-2 flows) plus background."""
+    gadget = theorem_3_4(n, k)
+    reserved = {1, 2}  # the gadget's ToR switches
+    sources, destinations = _background_servers(gadget.clos, reserved)
+    if not sources or not destinations:
+        raise ValueError(f"no free ToR switches for background traffic at n={n}")
+
+    flows = FlowCollection(gadget.flows)
+    rng = random.Random(seed)
+    background: List[Flow] = []
+    for _ in range(num_background):
+        background.extend(
+            flows.add_pair(rng.choice(sources), rng.choice(destinations))
+        )
+    return PlantedInstance(
+        clos=gadget.clos,
+        macro=gadget.macro,
+        flows=flows,
+        gadget=gadget,
+        background=background,
+    )

@@ -1,0 +1,92 @@
+"""Trace-file workloads: load and save flow collections as CSV.
+
+Production evaluations replay measured traces (the paper's refs [29, 30]
+analyze such traces).  This module defines a minimal interchange format
+so workloads can come from files rather than generators:
+
+    # comment lines allowed
+    src_switch,src_server,dst_switch,dst_server
+    1,1,3,2
+    1,1,3,2          # duplicate rows become parallel flows (tags 0,1,…)
+    2,2,4,1
+
+Parallel flows are expressed by repeating a row; tags are assigned in
+file order.  :func:`save_trace` writes the same format, so any
+`FlowCollection` round-trips.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from repro.core.flows import FlowCollection
+from repro.core.topology import ClosNetwork
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def _parse_line(line: str, line_number: int) -> List[int]:
+    body = line.split("#", 1)[0].strip()
+    if not body:
+        return []
+    parts = [part.strip() for part in body.split(",")]
+    if len(parts) != 4:
+        raise TraceError(
+            f"line {line_number}: expected 4 comma-separated fields, got"
+            f" {len(parts)}: {line.rstrip()!r}"
+        )
+    try:
+        return [int(part) for part in parts]
+    except ValueError as error:
+        raise TraceError(
+            f"line {line_number}: non-integer field in {line.rstrip()!r}"
+        ) from error
+
+
+def load_trace(
+    source: Union[str, TextIO], network: ClosNetwork
+) -> FlowCollection:
+    """Read a CSV trace into a :class:`FlowCollection` on ``network``.
+
+    ``source`` is a path or an open text stream.  Endpoint indices are
+    validated against the network (1-based, like the paper).
+
+    >>> clos = ClosNetwork(2)
+    >>> flows = load_trace(io.StringIO("1,1,3,1\\n1,1,3,1\\n"), clos)
+    >>> len(flows), flows[1].tag
+    (2, 1)
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_trace(handle, network)
+
+    flows = FlowCollection()
+    for line_number, line in enumerate(source, start=1):
+        fields = _parse_line(line, line_number)
+        if not fields:
+            continue
+        src_switch, src_server, dst_switch, dst_server = fields
+        try:
+            src = network.source(src_switch, src_server)
+            dst = network.destination(dst_switch, dst_server)
+        except ValueError as error:
+            raise TraceError(f"line {line_number}: {error}") from error
+        flows.add_pair(src, dst)
+    return flows
+
+
+def save_trace(flows: FlowCollection, target: Union[str, TextIO]) -> None:
+    """Write ``flows`` as a CSV trace (one row per flow, file order)."""
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_trace(flows, handle)
+            return
+    target.write("# src_switch,src_server,dst_switch,dst_server\n")
+    for flow in flows:
+        target.write(
+            f"{flow.source.switch},{flow.source.server},"
+            f"{flow.dest.switch},{flow.dest.server}\n"
+        )

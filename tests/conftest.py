@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+
+@pytest.fixture
+def clos2() -> ClosNetwork:
+    return ClosNetwork(2)
+
+
+@pytest.fixture
+def clos3() -> ClosNetwork:
+    return ClosNetwork(3)
+
+
+@pytest.fixture
+def macro2() -> MacroSwitch:
+    return MacroSwitch(2)
+
+
+@pytest.fixture
+def macro3() -> MacroSwitch:
+    return MacroSwitch(3)
+
+
+def random_flows(
+    network: ClosNetwork, num_flows: int, seed: int
+) -> FlowCollection:
+    """Uniform random flows on ``network`` (deterministic given seed)."""
+    rng = random.Random(seed)
+    flows = FlowCollection()
+    for _ in range(num_flows):
+        source = rng.choice(network.sources)
+        dest = rng.choice(network.destinations)
+        flows.add_pair(source, dest)
+    return flows
+
+
+def random_routing(
+    network: ClosNetwork, flows: FlowCollection, seed: int
+) -> Routing:
+    """Uniform random middle-switch assignment."""
+    rng = random.Random(seed)
+    middles = {flow: rng.randint(1, network.n) for flow in flows}
+    return Routing.from_middles(network, flows, middles)
+
+
+def single_flow(network) -> Tuple[FlowCollection, Flow]:
+    """One flow between the first source and first destination."""
+    flow = Flow(network.sources[0], network.destinations[0])
+    return FlowCollection([flow]), flow
+
+
+def frac(numerator: int, denominator: int = 1) -> Fraction:
+    return Fraction(numerator, denominator)
+
+
+def exact_vector(values: List[Tuple[int, int]]) -> List[Fraction]:
+    """Build [Fraction(p, q), ...] from (p, q) pairs."""
+    return [Fraction(p, q) for p, q in values]

@@ -1,0 +1,87 @@
+"""Unit tests for the bipartite multigraph substrate."""
+
+import pytest
+
+from repro.graph.bipartite import BipartiteMultigraph, build_multigraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = BipartiteMultigraph()
+        assert g.num_edges() == 0
+        assert g.max_degree() == 0
+        assert g.left_nodes == []
+        assert g.right_nodes == []
+
+    def test_add_edge_registers_sides(self):
+        g = BipartiteMultigraph()
+        g.add_edge("u", "v", key="e")
+        assert g.left_nodes == ["u"]
+        assert g.right_nodes == ["v"]
+        assert g.endpoints("e") == ("u", "v")
+
+    def test_parallel_edges(self):
+        g = BipartiteMultigraph()
+        g.add_edge("u", "v", key="e1")
+        g.add_edge("u", "v", key="e2")
+        assert g.num_edges() == 2
+        assert g.degree("u") == 2
+        assert g.degree("v") == 2
+
+    def test_duplicate_key_rejected(self):
+        g = BipartiteMultigraph()
+        g.add_edge("u", "v", key="e")
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add_edge("u", "w", key="e")
+
+    def test_side_conflict_rejected(self):
+        g = BipartiteMultigraph()
+        g.add_edge("u", "v", key="e1")
+        with pytest.raises(ValueError, match="side"):
+            g.add_edge("v", "w", key="e2")
+
+    def test_build_multigraph(self):
+        g = build_multigraph([("a", "x", 1), ("b", "y", 2)])
+        assert g.num_edges() == 2
+        assert g.endpoints(1) == ("a", "x")
+
+
+class TestQueries:
+    @pytest.fixture
+    def graph(self) -> BipartiteMultigraph:
+        return build_multigraph(
+            [("u1", "v1", "a"), ("u1", "v2", "b"), ("u2", "v1", "c"), ("u1", "v1", "d")]
+        )
+
+    def test_degree(self, graph):
+        assert graph.degree("u1") == 3
+        assert graph.degree("v1") == 3
+        assert graph.degree("u2") == 1
+
+    def test_max_degree(self, graph):
+        assert graph.max_degree() == 3
+
+    def test_incident(self, graph):
+        assert set(graph.incident("u1")) == {"a", "b", "d"}
+        assert set(graph.incident("v2")) == {"b"}
+
+    def test_incident_missing_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.incident("nope")
+
+    def test_neighbors_distinct(self, graph):
+        assert graph.neighbors("u1") == ["v1", "v2"]
+        assert graph.neighbors("v1") == ["u1", "u2"]
+
+    def test_edges_preserve_insertion_order(self, graph):
+        assert [key for _, _, key in graph.edges()] == ["a", "b", "c", "d"]
+
+    def test_edge_keys(self, graph):
+        assert graph.edge_keys == ["a", "b", "c", "d"]
+
+    def test_isolated_nodes_allowed(self):
+        g = BipartiteMultigraph()
+        g.add_left("lonely")
+        g.add_right("also")
+        assert g.degree("lonely") == 0
+        assert g.max_degree() == 0

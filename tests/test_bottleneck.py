@@ -1,0 +1,148 @@
+"""Tests for the bottleneck property (Lemma 2.2) as a fairness certificate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import Allocation
+from repro.core.bottleneck import (
+    bottleneck_links,
+    certify_max_min_fair,
+    flows_without_bottleneck,
+    is_max_min_fair,
+    link_loads,
+)
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+
+@pytest.fixture
+def shared_link_instance():
+    """Two flows sharing one Clos path; max-min gives 1/2 each."""
+    clos = ClosNetwork(1)
+    flows = FlowCollection()
+    pair = flows.add_pair(clos.source(1, 1), clos.destination(2, 1), count=2)
+    routing = Routing.uniform(clos, flows, 1)
+    return clos, flows, routing, pair
+
+
+class TestLinkLoads:
+    def test_loads_accumulate(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        alloc = Allocation({pair[0]: Fraction(1, 4), pair[1]: Fraction(1, 2)})
+        loads = link_loads(routing, alloc)
+        for link in routing.links_of(pair[0]):
+            assert loads[link] == Fraction(3, 4)
+
+    def test_empty_routing(self):
+        assert link_loads(Routing({}), Allocation({})) == {}
+
+
+class TestBottleneckLinks:
+    def test_fair_split_bottlenecks_everywhere(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        alloc = Allocation({pair[0]: Fraction(1, 2), pair[1]: Fraction(1, 2)})
+        capacities = clos.graph.capacities()
+        links = bottleneck_links(routing, alloc, capacities, pair[0])
+        assert len(links) == 4  # the whole shared path is saturated
+
+    def test_unsaturated_links_not_bottlenecks(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        alloc = Allocation({pair[0]: Fraction(1, 4), pair[1]: Fraction(1, 4)})
+        capacities = clos.graph.capacities()
+        assert bottleneck_links(routing, alloc, capacities, pair[0]) == []
+
+    def test_smaller_flow_has_no_bottleneck_on_shared_link(
+        self, shared_link_instance
+    ):
+        clos, flows, routing, pair = shared_link_instance
+        # saturated link, but pair[0] is not the max-rate flow on it
+        alloc = Allocation({pair[0]: Fraction(1, 4), pair[1]: Fraction(3, 4)})
+        capacities = clos.graph.capacities()
+        assert bottleneck_links(routing, alloc, capacities, pair[0]) == []
+        assert len(bottleneck_links(routing, alloc, capacities, pair[1])) == 4
+
+    def test_infinite_links_never_bottlenecks(self):
+        ms = MacroSwitch(1)
+        f = Flow(ms.source(1, 1), ms.destination(2, 1))
+        flows = FlowCollection([f])
+        routing = Routing.for_macro_switch(ms, flows)
+        alloc = max_min_fair(routing, ms.graph.capacities())
+        links = bottleneck_links(routing, alloc, ms.graph.capacities(), f)
+        # only the two (saturated) server links qualify
+        assert len(links) == 2
+        assert all(ms.graph.capacity(*link) == 1 for link in links)
+
+
+class TestIsMaxMinFair:
+    def test_accepts_water_filling_output(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        capacities = clos.graph.capacities()
+        alloc = max_min_fair(routing, capacities)
+        assert is_max_min_fair(routing, alloc, capacities)
+        assert certify_max_min_fair(routing, alloc, capacities) is None
+
+    def test_rejects_underallocation(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        capacities = clos.graph.capacities()
+        low = Allocation({pair[0]: Fraction(1, 4), pair[1]: Fraction(1, 4)})
+        assert not is_max_min_fair(routing, low, capacities)
+        report = certify_max_min_fair(routing, low, capacities)
+        assert "without a bottleneck" in report
+
+    def test_rejects_unfair_allocation(self, shared_link_instance):
+        """Max throughput but not max-min: one flow starves."""
+        clos, flows, routing, pair = shared_link_instance
+        capacities = clos.graph.capacities()
+        unfair = Allocation({pair[0]: Fraction(1), pair[1]: Fraction(0)})
+        assert not is_max_min_fair(routing, unfair, capacities)
+
+    def test_rejects_infeasible(self, shared_link_instance):
+        clos, flows, routing, pair = shared_link_instance
+        capacities = clos.graph.capacities()
+        over = Allocation({pair[0]: Fraction(1), pair[1]: Fraction(1)})
+        assert not is_max_min_fair(routing, over, capacities)
+        report = certify_max_min_fair(routing, over, capacities)
+        assert "infeasible" in report
+
+    def test_flows_without_bottleneck_lists_offenders(
+        self, shared_link_instance
+    ):
+        clos, flows, routing, pair = shared_link_instance
+        capacities = clos.graph.capacities()
+        # Saturated path (3/4 + 1/4 = 1): the max-rate flow has a
+        # bottleneck, the smaller one does not.
+        partial = Allocation({pair[0]: Fraction(3, 4), pair[1]: Fraction(1, 4)})
+        missing = flows_without_bottleneck(routing, partial, capacities)
+        assert missing == [pair[1]]
+
+
+class TestPaperCertificates:
+    def test_lemma_4_6_posited_allocation_certified(self):
+        """The paper's Lemma 4.6 Step-1 claim, checked the paper's way."""
+        from repro.core.theorems import theorem_4_3 as predict
+        from repro.workloads.adversarial import lemma_4_6_routing, theorem_4_3
+
+        instance = theorem_4_3(3)
+        prediction = predict(3)
+        routing = lemma_4_6_routing(instance)
+        rates = {}
+        for type_name in ("type1", "type2a", "type2b", "type3"):
+            key = "type2" if type_name.startswith("type2") else type_name
+            for flow in instance.types[type_name]:
+                rates[flow] = prediction.lex_max_min_rates[key]
+        posited = Allocation(rates)
+        capacities = instance.clos.graph.capacities()
+        assert is_max_min_fair(routing, posited, capacities)
+
+    def test_float_tolerance_path(self):
+        """Float allocations certify with a tolerance."""
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=3)
+        routing = Routing.uniform(clos, flows, 1)
+        capacities = clos.graph.capacities()
+        alloc = max_min_fair(routing, capacities, exact=False)
+        assert is_max_min_fair(routing, alloc, capacities, tol=1e-9)

@@ -1,0 +1,60 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import DESCRIPTIONS, EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(["run", "e2", "--ks", "1,2"])
+        assert args.command == "run"
+        assert args.experiment == "e2"
+        assert args.ks == "1,2"
+
+    def test_every_experiment_has_description(self):
+        assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+
+class TestMain:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "e1" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["run", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_e1(self, capsys):
+        assert main(["run", "e1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper: True" in out
+
+    def test_run_e2_with_custom_ks(self, capsys):
+        assert main(["run", "e2", "--ks", "1,3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.4" in out
+        assert "3/4" in out  # k = 1 ratio
+
+    def test_run_e3_small(self, capsys):
+        assert main(["run", "e3", "--sizes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "False" in out  # unsplittable infeasible
+
+    def test_run_e4_small(self, capsys):
+        assert main(["run", "e4", "--sizes", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "1/3" in out
+
+    def test_run_is_case_insensitive(self, capsys):
+        assert main(["run", "E1"]) == 0

@@ -1,0 +1,137 @@
+"""Unit tests for the directed-graph substrate."""
+
+import pytest
+
+from repro.graph.digraph import INFINITE_CAPACITY, DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.num_nodes() == 0
+        assert g.num_links() == 0
+        assert g.nodes == []
+        assert g.links == []
+
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes() == 1
+
+    def test_add_link_adds_endpoints(self):
+        g = DiGraph()
+        g.add_link("a", "b")
+        assert g.has_node("a")
+        assert g.has_node("b")
+        assert g.has_link("a", "b")
+        assert not g.has_link("b", "a")
+
+    def test_default_capacity_is_one(self):
+        g = DiGraph()
+        g.add_link("a", "b")
+        assert g.capacity("a", "b") == 1
+
+    def test_explicit_capacity(self):
+        g = DiGraph()
+        g.add_link("a", "b", capacity=7)
+        assert g.capacity("a", "b") == 7
+
+    def test_infinite_capacity(self):
+        g = DiGraph()
+        g.add_link("a", "b", capacity=INFINITE_CAPACITY)
+        assert g.capacity("a", "b") == float("inf")
+
+    def test_readd_link_overwrites_capacity(self):
+        g = DiGraph()
+        g.add_link("a", "b", capacity=1)
+        g.add_link("a", "b", capacity=3)
+        assert g.capacity("a", "b") == 3
+        assert g.num_links() == 1
+
+    def test_remove_link(self):
+        g = DiGraph()
+        g.add_link("a", "b")
+        g.remove_link("a", "b")
+        assert not g.has_link("a", "b")
+        assert g.has_node("a")
+
+    def test_remove_missing_link_raises(self):
+        g = DiGraph()
+        g.add_node("a")
+        with pytest.raises(KeyError):
+            g.remove_link("a", "b")
+
+
+class TestQueries:
+    @pytest.fixture
+    def diamond(self) -> DiGraph:
+        g = DiGraph()
+        g.add_link("s", "a")
+        g.add_link("s", "b")
+        g.add_link("a", "t")
+        g.add_link("b", "t")
+        return g
+
+    def test_successors(self, diamond):
+        assert sorted(diamond.successors("s")) == ["a", "b"]
+
+    def test_predecessors(self, diamond):
+        assert sorted(diamond.predecessors("t")) == ["a", "b"]
+
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("s") == 2
+        assert diamond.in_degree("s") == 0
+        assert diamond.in_degree("t") == 2
+        assert diamond.out_degree("t") == 0
+
+    def test_capacity_of_missing_link_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.capacity("s", "t")
+
+    def test_capacities_returns_copy(self, diamond):
+        caps = diamond.capacities()
+        caps[("s", "a")] = 99
+        assert diamond.capacity("s", "a") == 1
+
+    def test_contains(self, diamond):
+        assert "s" in diamond
+        assert "zz" not in diamond
+
+    def test_missing_node_queries_raise(self, diamond):
+        with pytest.raises(KeyError):
+            list(diamond.successors("zz"))
+
+
+class TestPaths:
+    @pytest.fixture
+    def chain(self) -> DiGraph:
+        g = DiGraph()
+        g.add_link("a", "b")
+        g.add_link("b", "c")
+        return g
+
+    def test_valid_path(self, chain):
+        assert chain.is_path(["a", "b", "c"])
+
+    def test_single_node_path(self, chain):
+        assert chain.is_path(["a"])
+
+    def test_single_missing_node_path(self, chain):
+        assert not chain.is_path(["zz"])
+
+    def test_empty_path_invalid(self, chain):
+        assert not chain.is_path([])
+
+    def test_broken_path(self, chain):
+        assert not chain.is_path(["a", "c"])
+
+    def test_reversed_path_invalid(self, chain):
+        assert not chain.is_path(["c", "b", "a"])
+
+    def test_path_links(self, chain):
+        assert chain.path_links(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_path_links_invalid_raises(self, chain):
+        with pytest.raises(ValueError):
+            chain.path_links(["a", "c"])

@@ -1,0 +1,138 @@
+"""Tests for distribution helpers and the report generator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.distributions import (
+    empirical_cdf,
+    fraction_at_most,
+    percentile,
+    percentile_table,
+    text_histogram,
+)
+from repro.core.allocation import Allocation
+from repro.core.flows import Flow
+from repro.core.nodes import Destination, Source
+from repro.report import generate_report, write_report
+
+
+class TestEmpiricalCdf:
+    def test_empty(self):
+        assert empirical_cdf([]) == []
+
+    def test_breakpoints(self):
+        points = empirical_cdf([1.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(2 / 3)), (2.0, 1.0)]
+
+    def test_last_point_reaches_one(self):
+        points = empirical_cdf([3.0, 1.0, 2.0, 2.0])
+        assert points[-1][1] == 1.0
+
+    def test_monotone(self):
+        points = empirical_cdf([5, 3, 1, 4, 1, 5])
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_extremes(self):
+        assert percentile([1, 2, 3], 100) == 3
+        assert percentile([1, 2, 3], 1) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_table(self):
+        flows = [Flow(Source(1, 1), Destination(1, 1), tag=i) for i in range(4)]
+        alloc = Allocation(
+            {flows[i]: Fraction(i + 1, 4) for i in range(4)}
+        )
+        table = percentile_table(alloc, qs=(50, 100))
+        assert table[50] == pytest.approx(0.5)
+        assert table[100] == pytest.approx(1.0)
+
+
+class TestFractionAtMost:
+    def test_values(self):
+        values = [1, 2, 3, 4]
+        assert fraction_at_most(values, 2) == 0.5
+        assert fraction_at_most(values, 0) == 0.0
+        assert fraction_at_most(values, 4) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fraction_at_most([], 1)
+
+
+class TestTextHistogram:
+    def test_bins_and_counts(self):
+        out = text_histogram([0.1, 0.1, 0.9], bins=2, width=4)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("2")
+        assert lines[1].endswith("1")
+
+    def test_degenerate_single_value(self):
+        out = text_histogram([0.5, 0.5], bins=3)
+        assert "2" in out
+        assert "\n" not in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_histogram([])
+        with pytest.raises(ValueError):
+            text_histogram([1.0], bins=0)
+
+
+class TestReport:
+    def test_small_report_structure(self):
+        text = generate_report(["e1", "e3"])
+        assert "# Reproduction report" in text
+        assert "## e1" in text
+        assert "## e3" in text
+        assert "matches paper: True" in text
+        assert "all experiments completed" in text
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(["e99"])
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        returned = write_report(str(path), ["e1"])
+        assert returned == str(path)
+        assert "Example 2.3" in path.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "r.md"
+        assert main(["report", "-o", str(path), "--only", "e1"]) == 0
+        assert path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestReportFailurePath:
+    def test_failing_experiment_reported_not_fatal(self, monkeypatch):
+        """A crashing experiment becomes a FAILED section, not an exception."""
+        import repro.cli as cli
+        from repro.report import generate_report
+
+        def boom(args):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "e1", boom)
+        text = generate_report(["e1"])
+        assert "**FAILED**" in text
+        assert "synthetic failure" in text
+        assert "FAILED: e1" in text

@@ -1,0 +1,128 @@
+"""Tests for the Doom-Switch algorithm (Algorithm 1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import is_feasible
+from repro.core.bottleneck import is_max_min_fair
+from repro.core.doom_switch import doom_switch, doom_switch_routing
+from repro.core.objectives import macro_switch_max_min, throughput_max_min_fair
+from repro.core.throughput import max_throughput_value
+from repro.core.topology import ClosNetwork
+from repro.workloads.adversarial import example_5_3, theorem_5_4
+
+from tests.helpers import random_flows
+
+
+class TestAlgorithmStructure:
+    def test_matched_plus_doomed_cover_all_flows(self):
+        instance = theorem_5_4(5, 2)
+        result = doom_switch(instance.clos, instance.flows)
+        together = set(result.matched) | set(result.doomed)
+        assert together == set(instance.flows)
+        assert not set(result.matched) & set(result.doomed)
+
+    def test_matched_is_maximum_matching(self):
+        instance = theorem_5_4(5, 2)
+        result = doom_switch(instance.clos, instance.flows)
+        assert len(result.matched) == max_throughput_value(instance.flows)
+
+    def test_matched_flows_link_disjoint(self):
+        instance = theorem_5_4(7, 1)
+        result = doom_switch(instance.clos, instance.flows)
+        middles = result.routing.middles(instance.clos)
+        # no two matched flows share (input switch, middle) or (middle,
+        # output switch)
+        seen_up, seen_down = set(), set()
+        for f in result.matched:
+            up = (f.source.switch, middles[f])
+            down = (middles[f], f.dest.switch)
+            assert up not in seen_up
+            assert down not in seen_down
+            seen_up.add(up)
+            seen_down.add(down)
+
+    def test_doomed_flows_share_one_middle(self):
+        instance = theorem_5_4(7, 3)
+        result = doom_switch(instance.clos, instance.flows)
+        middles = result.routing.middles(instance.clos)
+        doom_middles = {middles[f] for f in result.doomed}
+        assert doom_middles == {result.doom_switch}
+
+    def test_doom_switch_has_smallest_color_class(self):
+        instance = theorem_5_4(7, 1)
+        result = doom_switch(instance.clos, instance.flows)
+        middles = result.routing.middles(instance.clos)
+        sizes = {m: 0 for m in range(1, instance.clos.n + 1)}
+        for f in result.matched:
+            sizes[middles[f]] += 1
+        assert sizes[result.doom_switch] == min(sizes.values())
+
+    def test_allocation_is_max_min_for_routing(self):
+        instance = theorem_5_4(5, 1)
+        result = doom_switch(instance.clos, instance.flows)
+        capacities = instance.clos.graph.capacities()
+        assert is_feasible(result.routing, result.allocation, capacities)
+        assert is_max_min_fair(result.routing, result.allocation, capacities)
+
+    def test_routing_only_helper_agrees(self):
+        instance = theorem_5_4(5, 1)
+        routing = doom_switch_routing(instance.clos, instance.flows)
+        full = doom_switch(instance.clos, instance.flows)
+        assert routing.middles(instance.clos) == full.routing.middles(
+            instance.clos
+        )
+
+    def test_unknown_policy_rejected(self):
+        instance = theorem_5_4(5, 1)
+        with pytest.raises(ValueError, match="dump_policy"):
+            doom_switch(instance.clos, instance.flows, dump_policy="nope")
+
+
+class TestExample53:
+    def test_throughput_increases_from_9_2_to_5(self):
+        instance = example_5_3()
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        assert macro.throughput() == Fraction(9, 2)
+        result = doom_switch(instance.clos, instance.flows)
+        assert result.allocation.throughput() == 5
+
+    def test_per_type_rates(self):
+        instance = example_5_3()
+        result = doom_switch(instance.clos, instance.flows)
+        for f in instance.types["type1"]:
+            assert result.allocation.rate(f) == Fraction(2, 3)
+        for f in instance.types["type2"]:
+            assert result.allocation.rate(f) == Fraction(1, 3)
+
+    def test_doomed_are_exactly_type2(self):
+        instance = example_5_3()
+        result = doom_switch(instance.clos, instance.flows)
+        assert set(result.doomed) == set(instance.types["type2"])
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lower_bounds_t_mmf_on_small_instances(self, seed):
+        """Doom-Switch's throughput never exceeds the exact T-MmF optimum
+        (it approximates from below)."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=seed)
+        exact = throughput_max_min_fair(clos, flows)
+        approx = doom_switch(clos, flows)
+        assert approx.allocation.throughput() <= exact.allocation.throughput()
+
+    @pytest.mark.parametrize("policy", ["least", "most", "round_robin"])
+    def test_all_policies_produce_valid_routings(self, policy):
+        instance = theorem_5_4(7, 2)
+        result = doom_switch(instance.clos, instance.flows, dump_policy=policy)
+        result.routing.validate(instance.clos.graph)
+        capacities = instance.clos.graph.capacities()
+        assert is_max_min_fair(result.routing, result.allocation, capacities)
+
+    def test_least_policy_beats_most_on_gadget(self):
+        instance = theorem_5_4(9, 2)
+        least = doom_switch(instance.clos, instance.flows, dump_policy="least")
+        most = doom_switch(instance.clos, instance.flows, dump_policy="most")
+        assert least.allocation.throughput() >= most.allocation.throughput()

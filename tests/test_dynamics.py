@@ -1,0 +1,172 @@
+"""Tests for the distributed congestion-control dynamics."""
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.dynamics.waterlevel import AimdDynamics, LinkFairShareDynamics
+
+from tests.helpers import random_flows, random_routing
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(2)
+
+
+class TestLinkFairShare:
+    def test_single_flow_reaches_capacity(self, clos):
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        trace = LinkFairShareDynamics(routing, clos.graph.capacities()).run()
+        assert trace.converged
+        assert trace.rates[f] == pytest.approx(1.0)
+
+    def test_equal_split(self, clos):
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=4)
+        routing = Routing.uniform(clos, flows, 1)
+        trace = LinkFairShareDynamics(routing, clos.graph.capacities()).run()
+        for f in pair:
+            assert trace.rates[f] == pytest.approx(0.25)
+
+    def test_two_level_instance(self):
+        """The Figure 2 shape: shared + unshared flows at two levels."""
+        ms = MacroSwitch(1)
+        flows = FlowCollection()
+        f_a = flows.add(Flow(ms.source(1, 1), ms.destination(1, 1)))
+        f_b = flows.add(Flow(ms.source(2, 1), ms.destination(2, 1)))
+        f_c = flows.add(Flow(ms.source(2, 1), ms.destination(1, 1)))
+        routing = Routing.for_macro_switch(ms, flows)
+        trace = LinkFairShareDynamics(routing, ms.graph.capacities()).run()
+        assert trace.converged
+        for f in (f_a, f_b, f_c):
+            assert trace.rates[f] == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_converges_to_oracle_on_clos(self, seed):
+        network = ClosNetwork(3)
+        flows = random_flows(network, 16, seed)
+        routing = random_routing(network, flows, seed)
+        capacities = network.graph.capacities()
+        oracle = max_min_fair(routing, capacities, exact=False)
+        trace = LinkFairShareDynamics(routing, capacities).run(max_rounds=300)
+        assert trace.converged
+        for f in flows:
+            assert trace.rates[f] == pytest.approx(oracle.rate(f), abs=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_converges_to_oracle_on_macro_switch(self, seed):
+        ms = MacroSwitch(3)
+        flows = random_flows(ClosNetwork(3), 12, seed)
+        routing = Routing.for_macro_switch(ms, flows)
+        capacities = ms.graph.capacities()
+        oracle = max_min_fair(routing, capacities, exact=False)
+        trace = LinkFairShareDynamics(routing, capacities).run(max_rounds=300)
+        assert trace.converged
+        for f in flows:
+            assert trace.rates[f] == pytest.approx(oracle.rate(f), abs=1e-9)
+
+    def test_rounds_scale_with_bottleneck_levels(self, clos):
+        flows = random_flows(clos, 10, seed=3)
+        routing = random_routing(clos, flows, seed=3)
+        capacities = clos.graph.capacities()
+        oracle = max_min_fair(routing, capacities, exact=False)
+        levels = len({round(r, 9) for r in oracle.rates().values()})
+        trace = LinkFairShareDynamics(routing, capacities).run()
+        # empirical: a couple of rounds per level plus slack
+        assert trace.rounds <= 3 * levels + 3
+
+    def test_history_recording(self, clos):
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        trace = LinkFairShareDynamics(routing, clos.graph.capacities()).run(
+            record_history=True
+        )
+        assert trace.history is not None
+        assert len(trace.history) == trace.rounds + 1
+        assert trace.history[0][f] == 0.0
+
+    def test_max_rounds_cap(self, clos):
+        flows = random_flows(clos, 8, seed=4)
+        routing = random_routing(clos, flows, seed=4)
+        trace = LinkFairShareDynamics(routing, clos.graph.capacities()).run(
+            max_rounds=1
+        )
+        assert trace.rounds == 1
+
+    def test_fixed_point_is_stable(self, clos):
+        """One more step from the oracle allocation does not move it."""
+        flows = random_flows(clos, 8, seed=5)
+        routing = random_routing(clos, flows, seed=5)
+        capacities = clos.graph.capacities()
+        oracle = max_min_fair(routing, capacities, exact=False)
+        dynamics = LinkFairShareDynamics(routing, capacities)
+        stepped = dynamics.step(oracle.rates())
+        for f in flows:
+            assert stepped[f] == pytest.approx(oracle.rate(f), abs=1e-9)
+
+
+class TestAimd:
+    def test_parameter_validation(self, clos):
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        with pytest.raises(ValueError):
+            AimdDynamics(routing, clos.graph.capacities(), decrease=1.5)
+        with pytest.raises(ValueError):
+            AimdDynamics(routing, clos.graph.capacities(), increase=0)
+
+    def test_warmup_validation(self, clos):
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        dynamics = AimdDynamics(routing, clos.graph.capacities())
+        with pytest.raises(ValueError):
+            dynamics.run(rounds=10, warmup=10)
+
+    def test_single_flow_hovers_near_capacity(self, clos):
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        averages = AimdDynamics(
+            routing, clos.graph.capacities(), increase=0.01
+        ).run(rounds=3000, warmup=500)
+        assert 0.6 < averages[f] <= 1.05
+
+    def test_equal_flows_get_equal_averages(self, clos):
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        routing = Routing.uniform(clos, flows, 1)
+        averages = AimdDynamics(routing, clos.graph.capacities()).run(
+            rounds=4000, warmup=1000
+        )
+        assert averages[pair[0]] == pytest.approx(averages[pair[1]], rel=0.05)
+
+    def test_average_below_fair_share(self, clos):
+        """AIMD's sawtooth keeps the time-average below the ideal share —
+        the quantitative gap between protocol and idealization."""
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        routing = Routing.uniform(clos, flows, 1)
+        averages = AimdDynamics(routing, clos.graph.capacities()).run(
+            rounds=4000, warmup=1000
+        )
+        for f in pair:
+            assert averages[f] < 0.5
+            assert averages[f] > 0.25
+
+
+class TestDegradedFabricDynamics:
+    def test_converges_on_failed_fabric(self, clos):
+        """Fair-share dynamics compose with failure injection: flows on
+        dead links converge to zero, others to the degraded oracle."""
+        from repro.failures import fail_middle_switch
+
+        flows = random_flows(clos, 8, seed=6)
+        routing = random_routing(clos, flows, seed=6)
+        degraded = fail_middle_switch(clos, clos.graph.capacities(), 1)
+        oracle = max_min_fair(routing, degraded, exact=False)
+        trace = LinkFairShareDynamics(routing, degraded).run(max_rounds=300)
+        assert trace.converged
+        for f in flows:
+            assert trace.rates[f] == pytest.approx(oracle.rate(f), abs=1e-9)

@@ -1,0 +1,162 @@
+"""Tests for failure injection and degraded-fabric behavior."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.nodes import InputSwitch, MiddleSwitch
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.failures import (
+    fail_links,
+    fail_middle_switch,
+    middle_switch_links,
+    random_link_failures,
+    surviving_network,
+)
+
+from tests.helpers import random_flows, random_routing
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(3)
+
+
+class TestFailLinks:
+    def test_zeroes_capacity(self, clos):
+        capacities = clos.graph.capacities()
+        link = (InputSwitch(1), MiddleSwitch(1))
+        degraded = fail_links(capacities, [link])
+        assert degraded[link] == 0
+        assert capacities[link] == 1  # original untouched
+
+    def test_unknown_link_rejected(self, clos):
+        with pytest.raises(KeyError):
+            fail_links(clos.graph.capacities(), [("nope", "nope")])
+
+    def test_flows_on_failed_link_starve(self, clos):
+        flows = FlowCollection(
+            [Flow(clos.source(1, 1), clos.destination(4, 1))]
+        )
+        routing = Routing.uniform(clos, flows, 1)
+        degraded = fail_links(
+            clos.graph.capacities(), [(InputSwitch(1), MiddleSwitch(1))]
+        )
+        alloc = max_min_fair(routing, degraded)
+        assert alloc.rate(flows[0]) == 0
+
+    def test_unaffected_flows_keep_rates(self, clos):
+        flows = FlowCollection(
+            [
+                Flow(clos.source(1, 1), clos.destination(4, 1)),
+                Flow(clos.source(2, 1), clos.destination(5, 1)),
+            ]
+        )
+        routing = Routing.from_middles(
+            clos, flows, {flows[0]: 1, flows[1]: 2}
+        )
+        degraded = fail_middle_switch(clos, clos.graph.capacities(), 1)
+        alloc = max_min_fair(routing, degraded)
+        assert alloc.rate(flows[0]) == 0
+        assert alloc.rate(flows[1]) == 1
+
+
+class TestMiddleSwitchFailure:
+    def test_link_inventory(self, clos):
+        links = middle_switch_links(clos, 2)
+        assert len(links) == 4 * clos.n  # 2n up + 2n down
+        assert all(MiddleSwitch(2) in link for link in links)
+
+    def test_fail_middle_switch_zeroes_all(self, clos):
+        degraded = fail_middle_switch(clos, clos.graph.capacities(), 1)
+        for link in middle_switch_links(clos, 1):
+            assert degraded[link] == 0
+
+    def test_invalid_index(self, clos):
+        with pytest.raises(ValueError):
+            middle_switch_links(clos, 99)
+
+
+class TestRandomFailures:
+    def test_count_and_interior_only(self, clos):
+        capacities = clos.graph.capacities()
+        degraded, failed = random_link_failures(clos, capacities, 5, seed=0)
+        assert len(failed) == 5
+        for link in failed:
+            assert degraded[link] == 0
+            u, v = link
+            assert isinstance(u, (InputSwitch, MiddleSwitch))
+            assert isinstance(v, (MiddleSwitch,)) or v.kind == "O"
+
+    def test_deterministic(self, clos):
+        capacities = clos.graph.capacities()
+        _, a = random_link_failures(clos, capacities, 4, seed=3)
+        _, b = random_link_failures(clos, capacities, 4, seed=3)
+        assert a == b
+
+    def test_too_many_failures(self, clos):
+        capacities = clos.graph.capacities()
+        with pytest.raises(ValueError):
+            random_link_failures(clos, capacities, 10**6)
+
+    def test_degraded_waterfill_still_certified(self, clos):
+        """Max-min fairness holds on degraded fabrics too (tol for the
+        zero-capacity links' trivial saturation)."""
+        from repro.core.bottleneck import is_max_min_fair
+
+        flows = random_flows(clos, 12, seed=1)
+        routing = random_routing(clos, flows, seed=1)
+        degraded, _ = random_link_failures(
+            clos, clos.graph.capacities(), 4, seed=1
+        )
+        alloc = max_min_fair(routing, degraded)
+        assert is_max_min_fair(routing, alloc, degraded)
+
+
+class TestSurvivingNetwork:
+    def test_shrinks_middle_stage(self, clos):
+        smaller, index_map = surviving_network(clos, [2])
+        assert smaller.num_middles == 2
+        assert smaller.n == clos.n
+        assert index_map == {1: 1, 2: 3}
+
+    def test_all_failed_rejected(self, clos):
+        with pytest.raises(ValueError):
+            surviving_network(clos, [1, 2, 3])
+
+    def test_translated_routing_avoids_failure(self, clos):
+        from repro.routers.greedy import greedy_least_congested
+
+        flows = random_flows(clos, 10, seed=2)
+        smaller, index_map = surviving_network(clos, [1])
+        routing_small = greedy_least_congested(smaller, flows)
+        translated = {
+            flow: index_map[m]
+            for flow, m in routing_small.middles(smaller).items()
+        }
+        assert 1 not in translated.values()
+        routing = Routing.from_middles(clos, flows, translated)
+        routing.validate(clos.graph)
+
+
+class TestDegradationExperiment:
+    def test_sweep_shape(self):
+        from repro.experiments.failure_degradation import middle_failure_sweep
+
+        rows = middle_failure_sweep(n=3, num_flows=20, max_failures=2, seed=0)
+        assert [row.failed_middles for row in rows] == [0, 1, 2]
+        # rerouting weakly dominates pinning at every level
+        for row in rows:
+            assert row.rerouted_throughput >= row.pinned_throughput
+            assert row.rerouted_min_rate >= row.pinned_min_rate
+        # pinned flows through the dead switch starve
+        assert rows[1].pinned_min_rate == 0
+
+    def test_max_failures_validation(self):
+        from repro.experiments.failure_degradation import middle_failure_sweep
+
+        with pytest.raises(ValueError):
+            middle_failure_sweep(n=3, max_failures=3)

@@ -1,0 +1,129 @@
+"""Tests for the heap-accelerated water-filling implementation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bottleneck import is_max_min_fair
+from repro.core.fastmaxmin import max_min_fair_fast
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import UnboundedRateError, max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.graph.digraph import DiGraph
+
+from tests.helpers import random_flows, random_routing
+
+
+class TestAgainstReference:
+    def test_empty(self):
+        assert len(max_min_fair_fast(Routing({}), {})) == 0
+
+    def test_single_flow(self):
+        clos = ClosNetwork(1)
+        f = Flow(clos.source(1, 1), clos.destination(2, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        alloc = max_min_fair_fast(routing, clos.graph.capacities())
+        assert alloc.rate(f) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_reference_on_clos(self, seed):
+        clos = ClosNetwork(3)
+        flows = random_flows(clos, 25, seed)
+        routing = random_routing(clos, flows, seed)
+        capacities = clos.graph.capacities()
+        reference = max_min_fair(routing, capacities, exact=False)
+        fast = max_min_fair_fast(routing, capacities)
+        for f in flows:
+            assert fast.rate(f) == pytest.approx(reference.rate(f), abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_on_macro_switch(self, seed):
+        ms = MacroSwitch(3)
+        flows = random_flows(ClosNetwork(3), 20, seed)
+        routing = Routing.for_macro_switch(ms, flows)
+        capacities = ms.graph.capacities()
+        reference = max_min_fair(routing, capacities, exact=False)
+        fast = max_min_fair_fast(routing, capacities)
+        for f in flows:
+            assert fast.rate(f) == pytest.approx(reference.rate(f), abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_output_certified_max_min(self, seed):
+        clos = ClosNetwork(3)
+        flows = random_flows(clos, 20, seed)
+        routing = random_routing(clos, flows, seed)
+        capacities = clos.graph.capacities()
+        alloc = max_min_fair_fast(routing, capacities)
+        assert is_max_min_fair(routing, alloc, capacities, tol=1e-9)
+
+    def test_unbounded_flow_raises(self):
+        graph = DiGraph()
+        graph.add_link("a", "b", capacity=float("inf"))
+        ms = MacroSwitch(1)
+        f = Flow(ms.source(1, 1), ms.destination(1, 1))
+        routing = Routing({f: ("a", "b")})
+        with pytest.raises(UnboundedRateError):
+            max_min_fair_fast(routing, graph.capacities())
+
+    def test_large_instance_smoke(self):
+        clos = ClosNetwork(8)
+        flows = random_flows(clos, 500, seed=1)
+        routing = random_routing(clos, flows, seed=1)
+        capacities = clos.graph.capacities()
+        reference = max_min_fair(routing, capacities, exact=False)
+        fast = max_min_fair_fast(routing, capacities)
+        worst = max(abs(fast.rate(f) - reference.rate(f)) for f in flows)
+        assert worst < 1e-10
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_hypothesis_equivalence(self, data):
+        n = data.draw(st.integers(1, 3), label="n")
+        clos = ClosNetwork(n)
+        num_flows = data.draw(st.integers(1, 12), label="num_flows")
+        flows = FlowCollection()
+        for _ in range(num_flows):
+            i = data.draw(st.integers(1, 2 * n))
+            j = data.draw(st.integers(1, n))
+            oi = data.draw(st.integers(1, 2 * n))
+            oj = data.draw(st.integers(1, n))
+            flows.add_pair(clos.source(i, j), clos.destination(oi, oj))
+        middles = {f: data.draw(st.integers(1, n)) for f in flows}
+        routing = Routing.from_middles(clos, flows, middles)
+        capacities = clos.graph.capacities()
+        reference = max_min_fair(routing, capacities, exact=False)
+        fast = max_min_fair_fast(routing, capacities)
+        for f in flows:
+            assert fast.rate(f) == pytest.approx(reference.rate(f), abs=1e-12)
+
+
+class TestDegradedFabrics:
+    def test_zero_capacity_links_freeze_flows_at_zero(self):
+        """Composition with failure injection: the heap variant handles
+        failed (capacity-0) links identically to the reference."""
+        from repro.core.nodes import InputSwitch, MiddleSwitch
+        from repro.failures import fail_links
+
+        clos = ClosNetwork(2)
+        f1 = Flow(clos.source(1, 1), clos.destination(3, 1))
+        f2 = Flow(clos.source(2, 1), clos.destination(4, 1))
+        flows = FlowCollection([f1, f2])
+        routing = Routing.from_middles(clos, flows, {f1: 1, f2: 2})
+        degraded = fail_links(
+            clos.graph.capacities(), [(InputSwitch(1), MiddleSwitch(1))]
+        )
+        fast = max_min_fair_fast(routing, degraded)
+        reference = max_min_fair(routing, degraded, exact=False)
+        assert fast.rate(f1) == reference.rate(f1) == 0.0
+        assert fast.rate(f2) == reference.rate(f2) == 1.0
+
+    def test_fractional_capacities(self):
+        from fractions import Fraction
+
+        clos = ClosNetwork(2, interior_capacity=Fraction(1, 2))
+        f1 = Flow(clos.source(1, 1), clos.destination(3, 1))
+        flows = FlowCollection([f1])
+        routing = Routing.uniform(clos, flows, 1)
+        fast = max_min_fair_fast(routing, clos.graph.capacities())
+        assert fast.rate(f1) == pytest.approx(0.5)

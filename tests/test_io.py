@@ -1,0 +1,142 @@
+"""Tests for scenario serialization (round-trips and malformed input)."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.io.serialize import Scenario, ScenarioError
+
+from tests.helpers import random_flows, random_routing
+
+
+@pytest.fixture
+def scenario():
+    clos = ClosNetwork(2)
+    flows = random_flows(clos, 6, seed=0)
+    routing = random_routing(clos, flows, seed=0)
+    allocation = max_min_fair(routing, clos.graph.capacities())
+    return Scenario(clos, flows, routing=routing, allocation=allocation)
+
+
+class TestRoundTrip:
+    def test_flows_roundtrip(self, scenario):
+        loaded = Scenario.from_json(scenario.to_json())
+        assert list(loaded.flows) == list(scenario.flows)
+        assert loaded.network.n == scenario.network.n
+
+    def test_routing_roundtrip(self, scenario):
+        loaded = Scenario.from_json(scenario.to_json())
+        original = scenario.routing.middles(scenario.network)
+        recovered = loaded.routing.middles(loaded.network)
+        assert {repr(f): m for f, m in original.items()} == {
+            repr(f): m for f, m in recovered.items()
+        }
+
+    def test_allocation_roundtrip_exact(self, scenario):
+        loaded = Scenario.from_json(scenario.to_json())
+        for original_flow, loaded_flow in zip(scenario.flows, loaded.flows):
+            assert scenario.allocation.rate(original_flow) == loaded.allocation.rate(
+                loaded_flow
+            )
+            assert isinstance(loaded.allocation.rate(loaded_flow), Fraction)
+
+    def test_recomputation_matches(self, scenario):
+        """Water-filling on the loaded scenario reproduces the saved rates."""
+        loaded = Scenario.from_json(scenario.to_json())
+        recomputed = max_min_fair(
+            loaded.routing, loaded.network.graph.capacities()
+        )
+        for flow in loaded.flows:
+            assert recomputed.rate(flow) == loaded.allocation.rate(flow)
+
+    def test_file_roundtrip(self, scenario, tmp_path):
+        path = tmp_path / "scenario.json"
+        scenario.save(str(path))
+        loaded = Scenario.load(str(path))
+        assert len(loaded.flows) == len(scenario.flows)
+
+    def test_optional_fields_absent(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(3, 1))])
+        loaded = Scenario.from_json(Scenario(clos, flows).to_json())
+        assert loaded.routing is None
+        assert loaded.allocation is None
+
+    def test_middle_count_preserved(self):
+        clos = ClosNetwork(2, middle_count=4)
+        flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(3, 1))])
+        loaded = Scenario.from_json(Scenario(clos, flows).to_json())
+        assert loaded.network.num_middles == 4
+
+    def test_parallel_flow_tags_preserved(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=3)
+        loaded = Scenario.from_json(Scenario(clos, flows).to_json())
+        assert sorted(f.tag for f in loaded.flows) == [0, 1, 2]
+
+
+class TestMalformedInput:
+    def test_wrong_format(self):
+        with pytest.raises(ScenarioError, match="format"):
+            Scenario.from_dict({"format": "other", "version": 1})
+
+    def test_wrong_version(self):
+        with pytest.raises(ScenarioError, match="version"):
+            Scenario.from_dict({"format": "repro-scenario", "version": 99})
+
+    def test_invalid_json(self):
+        with pytest.raises(ScenarioError, match="JSON"):
+            Scenario.from_json("{not json")
+
+    def test_missing_header(self):
+        with pytest.raises(ScenarioError, match="header"):
+            Scenario.from_dict({"format": "repro-scenario", "version": 1})
+
+    def test_malformed_flow(self):
+        document = {
+            "format": "repro-scenario",
+            "version": 1,
+            "n": 2,
+            "flows": [{"src": [1], "dst": [3, 1]}],
+        }
+        with pytest.raises(ScenarioError, match="flow entry"):
+            Scenario.from_dict(document)
+
+    def test_flow_index_out_of_range(self, scenario):
+        document = scenario.to_dict()
+        document["routing"]["99"] = 1
+        with pytest.raises(ScenarioError, match="out of range"):
+            Scenario.from_dict(document)
+
+    def test_malformed_rate(self, scenario):
+        document = scenario.to_dict()
+        first_key = next(iter(document["allocation"]))
+        document["allocation"][first_key] = "one third"
+        with pytest.raises(ScenarioError, match="rate"):
+            Scenario.from_dict(document)
+
+    def test_partial_allocation_rejected(self, scenario):
+        document = scenario.to_dict()
+        first_key = next(iter(document["allocation"]))
+        del document["allocation"][first_key]
+        with pytest.raises(ScenarioError, match="every flow"):
+            Scenario.from_dict(document)
+
+    def test_out_of_topology_flow_rejected(self):
+        document = {
+            "format": "repro-scenario",
+            "version": 1,
+            "n": 2,
+            "flows": [{"src": [9, 1], "dst": [3, 1], "tag": 0}],
+        }
+        with pytest.raises(ValueError):
+            Scenario.from_dict(document)
+
+    def test_document_is_valid_json(self, scenario):
+        json.loads(scenario.to_json())  # must not raise

@@ -1,0 +1,148 @@
+"""Tests for König edge coloring, including Kempe-chain stress cases."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.konig import (
+    ColoringError,
+    color_classes,
+    edge_coloring,
+    is_proper_coloring,
+)
+from repro.graph.bipartite import BipartiteMultigraph, build_multigraph
+
+
+class TestSmallCases:
+    def test_empty_graph(self):
+        assert edge_coloring(BipartiteMultigraph()) == {}
+
+    def test_single_edge_one_color(self):
+        g = build_multigraph([("u", "v", "e")])
+        assert edge_coloring(g) == {"e": 0}
+
+    def test_star_uses_degree_colors(self):
+        g = build_multigraph([("u", f"v{i}", i) for i in range(4)])
+        colors = edge_coloring(g)
+        assert sorted(colors.values()) == [0, 1, 2, 3]
+
+    def test_parallel_edges_distinct_colors(self):
+        g = build_multigraph([("u", "v", 1), ("u", "v", 2), ("u", "v", 3)])
+        colors = edge_coloring(g)
+        assert len(set(colors.values())) == 3
+
+    def test_cycle_two_colors(self):
+        # Even cycle u1-v1-u2-v2-u1: degree 2, two colors suffice.
+        g = build_multigraph(
+            [("u1", "v1", 1), ("u2", "v1", 2), ("u2", "v2", 3), ("u1", "v2", 4)]
+        )
+        colors = edge_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert len(set(colors.values())) == 2
+
+    def test_kempe_chain_triggered(self):
+        # Force a conflict: after coloring a path, a closing edge needs a flip.
+        g = build_multigraph(
+            [
+                ("u1", "v1", "a"),
+                ("u2", "v1", "b"),
+                ("u2", "v2", "c"),
+                ("u3", "v2", "d"),
+                ("u3", "v1", "e"),
+            ]
+        )
+        colors = edge_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors.values()) < g.max_degree()
+
+    def test_too_few_colors_rejected(self):
+        g = build_multigraph([("u", "v1", 1), ("u", "v2", 2)])
+        with pytest.raises(ColoringError):
+            edge_coloring(g, num_colors=1)
+
+    def test_extra_colors_allowed(self):
+        g = build_multigraph([("u", "v", 1)])
+        colors = edge_coloring(g, num_colors=5)
+        assert is_proper_coloring(g, colors)
+
+    def test_color_classes_grouping(self):
+        colors = {"a": 0, "b": 1, "c": 0}
+        classes = color_classes(colors)
+        assert classes == {0: ["a", "c"], 1: ["b"]}
+
+
+class TestIsProperColoring:
+    def test_accepts_valid(self):
+        g = build_multigraph([("u", "v1", 1), ("u", "v2", 2)])
+        assert is_proper_coloring(g, {1: 0, 2: 1})
+
+    def test_rejects_conflict(self):
+        g = build_multigraph([("u", "v1", 1), ("u", "v2", 2)])
+        assert not is_proper_coloring(g, {1: 0, 2: 0})
+
+    def test_rejects_missing_edges(self):
+        g = build_multigraph([("u", "v1", 1), ("u", "v2", 2)])
+        assert not is_proper_coloring(g, {1: 0})
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_multigraphs_proper_with_max_degree_colors(self, seed):
+        rng = random.Random(seed)
+        g = BipartiteMultigraph()
+        for key in range(rng.randint(1, 50)):
+            g.add_edge(
+                ("u", rng.randint(1, 8)), ("v", rng.randint(1, 8)), key=key
+            )
+        colors = edge_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert max(colors.values()) < g.max_degree()
+
+    def test_dense_regular_case(self):
+        # Complete bipartite K_{5,5}: degree 5, exactly 5 colors.
+        g = build_multigraph(
+            [(f"u{i}", f"v{j}", (i, j)) for i in range(5) for j in range(5)]
+        )
+        colors = edge_coloring(g)
+        assert is_proper_coloring(g, colors)
+        assert len(set(colors.values())) == 5
+
+
+@st.composite
+def multigraphs(draw):
+    num_left = draw(st.integers(1, 6))
+    num_right = draw(st.integers(1, 6))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(1, num_left), st.integers(1, num_right)),
+            max_size=30,
+        )
+    )
+    g = BipartiteMultigraph()
+    for key, (u, v) in enumerate(edges):
+        g.add_edge(("u", u), ("v", v), key=key)
+    return g
+
+
+class TestHypothesis:
+    @settings(max_examples=80, deadline=None)
+    @given(multigraphs())
+    def test_konig_theorem(self, g):
+        """Max-degree colors always suffice and the coloring is proper."""
+        colors = edge_coloring(g)
+        assert is_proper_coloring(g, colors)
+        if g.num_edges():
+            assert max(colors.values()) < g.max_degree()
+
+    @settings(max_examples=40, deadline=None)
+    @given(multigraphs())
+    def test_color_classes_are_matchings(self, g):
+        """Each color class is a matching in the multigraph."""
+        colors = edge_coloring(g)
+        for _, keys in color_classes(colors).items():
+            lefts = [g.endpoints(k)[0] for k in keys]
+            rights = [g.endpoints(k)[1] for k in keys]
+            assert len(set(lefts)) == len(lefts)
+            assert len(set(rights)) == len(rights)

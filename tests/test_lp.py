@@ -1,0 +1,209 @@
+"""Tests for the LP substrate (max throughput, progressive filling, feasibility)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import Allocation, is_feasible
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import macro_switch_max_min
+from repro.core.routing import Routing
+from repro.core.throughput import max_throughput_value
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.lp.feasibility import find_feasible_routing, splittable_feasible
+from repro.lp.maxthroughput import max_throughput_lp, max_throughput_lp_macro
+from repro.lp.progressive_filling import max_min_fair_lp
+
+from tests.helpers import random_flows, random_routing
+
+
+class TestMaxThroughputLP:
+    def test_empty(self):
+        value, alloc = max_throughput_lp(Routing({}), {})
+        assert value == 0.0
+        assert len(alloc) == 0
+
+    def test_single_flow(self):
+        clos = ClosNetwork(1)
+        f = Flow(clos.source(1, 1), clos.destination(2, 1))
+        routing = Routing.uniform(clos, FlowCollection([f]), 1)
+        value, alloc = max_throughput_lp(routing, clos.graph.capacities())
+        assert abs(value - 1.0) < 1e-9
+        assert abs(alloc.rate(f) - 1.0) < 1e-9
+
+    def test_shared_bottleneck(self):
+        clos = ClosNetwork(1)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(2, 1), count=3)
+        routing = Routing.uniform(clos, flows, 1)
+        value, alloc = max_throughput_lp(routing, clos.graph.capacities())
+        assert abs(value - 1.0) < 1e-9
+        assert is_feasible(routing, alloc, clos.graph.capacities(), tol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fixed_routing_lp_at_least_max_min(self, seed):
+        """For a fixed routing, max throughput ≥ the max-min throughput."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 8, seed=seed)
+        routing = random_routing(clos, flows, seed)
+        value, _ = max_throughput_lp(routing, clos.graph.capacities())
+        mmf = max_min_fair(routing, clos.graph.capacities())
+        assert value >= float(mmf.throughput()) - 1e-8
+
+    def test_macro_lp_empty(self):
+        assert max_throughput_lp_macro(FlowCollection()) == 0.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_macro_lp_integrality(self, seed):
+        clos = ClosNetwork(3)
+        flows = random_flows(clos, 20, seed=seed)
+        assert abs(
+            max_throughput_lp_macro(flows) - max_throughput_value(flows)
+        ) < 1e-7
+
+
+class TestProgressiveFillingLP:
+    def test_empty(self):
+        assert len(max_min_fair_lp(Routing({}), {})) == 0
+
+    def test_single_level(self):
+        clos = ClosNetwork(1)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(2, 1), count=4)
+        routing = Routing.uniform(clos, flows, 1)
+        alloc = max_min_fair_lp(routing, clos.graph.capacities())
+        for f in flows:
+            assert abs(alloc.rate(f) - 0.25) < 1e-7
+
+    def test_two_levels(self):
+        ms = MacroSwitch(2)
+        flows = FlowCollection()
+        shared = flows.add_pair(ms.source(1, 1), ms.destination(1, 1), count=2)
+        lone = flows.add(Flow(ms.source(2, 1), ms.destination(2, 1)))
+        routing = Routing.for_macro_switch(ms, flows)
+        alloc = max_min_fair_lp(routing, ms.graph.capacities())
+        for f in shared:
+            assert abs(alloc.rate(f) - 0.5) < 1e-7
+        assert abs(alloc.rate(lone) - 1.0) < 1e-7
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_water_filling(self, seed):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 7, seed=seed)
+        routing = random_routing(clos, flows, seed)
+        capacities = clos.graph.capacities()
+        exact = max_min_fair(routing, capacities)
+        lp = max_min_fair_lp(routing, capacities)
+        for f in flows:
+            assert abs(float(exact.rate(f)) - lp.rate(f)) < 1e-6
+
+
+class TestFeasibilitySearch:
+    def test_trivial_demands_feasible(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 6, seed=0)
+        demands = {f: Fraction(1, 100) for f in flows}
+        routing = find_feasible_routing(clos, flows, demands)
+        assert routing is not None
+        assert is_feasible(
+            routing, Allocation(demands), clos.graph.capacities()
+        )
+
+    def test_unit_demands_feasible_when_disjoint(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1))
+        flows.add_pair(clos.source(1, 2), clos.destination(3, 2))
+        demands = {f: Fraction(1) for f in flows}
+        assert find_feasible_routing(clos, flows, demands) is not None
+
+    def test_server_link_overload_rejected_upfront(self):
+        """Two unit flows into one destination server can never be routed."""
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1))
+        flows.add_pair(clos.source(3, 1), clos.destination(3, 1))
+        demands = {f: Fraction(1) for f in flows}
+        assert find_feasible_routing(clos, flows, demands) is None
+
+    def test_fractional_demands_feasible_across_switch_pairs(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1))
+        flows.add_pair(clos.source(1, 2), clos.destination(3, 2))
+        flows.add_pair(clos.source(2, 1), clos.destination(4, 1))
+        demands = {f: Fraction(2, 3) for f in flows}
+        routing = find_feasible_routing(clos, flows, demands)
+        assert routing is not None
+        assert is_feasible(
+            routing, Allocation(demands), clos.graph.capacities()
+        )
+
+    def test_theorem_4_2_instance_infeasible(self):
+        from repro.workloads.adversarial import theorem_4_2
+
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        assert find_feasible_routing(instance.clos, instance.flows, demands) is None
+
+    def test_symmetry_off_agrees_on_infeasible(self):
+        from repro.workloads.adversarial import theorem_4_2
+
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        assert (
+            find_feasible_routing(
+                instance.clos, instance.flows, demands, use_symmetry=False
+            )
+            is None
+        )
+
+    def test_lemma_4_6_demands_feasible(self):
+        from repro.core.theorems import theorem_4_3 as predict
+        from repro.workloads.adversarial import theorem_4_3
+
+        instance = theorem_4_3(3)
+        prediction = predict(3)
+        demands = {}
+        for type_name in ("type1", "type2a", "type2b", "type3"):
+            key = "type2" if type_name.startswith("type2") else type_name
+            for f in instance.types[type_name]:
+                demands[f] = prediction.lex_max_min_rates[key]
+        routing = find_feasible_routing(instance.clos, instance.flows, demands)
+        assert routing is not None
+        assert is_feasible(
+            routing, Allocation(demands), instance.clos.graph.capacities()
+        )
+
+
+class TestSplittableFeasibility:
+    def test_empty_feasible(self):
+        clos = ClosNetwork(2)
+        assert splittable_feasible(clos, FlowCollection(), {})
+
+    def test_server_link_violation_detected(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        demands = {pair[0]: Fraction(3, 4), pair[1]: Fraction(3, 4)}
+        assert not splittable_feasible(clos, flows, demands)
+
+    def test_macro_rates_always_splittable(self):
+        """The classic demand-satisfaction property (§1): any macro-switch
+        max-min rates are splittably routable."""
+        clos = ClosNetwork(3)
+        ms = MacroSwitch(3)
+        for seed in range(3):
+            flows = random_flows(clos, 15, seed=seed)
+            demands = macro_switch_max_min(ms, flows).rates()
+            assert splittable_feasible(clos, flows, demands)
+
+    def test_theorem_4_2_gap(self):
+        """Splittable yes + unsplittable no = the paper's point."""
+        from repro.workloads.adversarial import theorem_4_2
+
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        assert splittable_feasible(instance.clos, instance.flows, demands)
+        assert find_feasible_routing(instance.clos, instance.flows, demands) is None

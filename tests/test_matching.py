@@ -1,0 +1,159 @@
+"""Tests for maximum bipartite matching (Hopcroft–Karp + simple oracle).
+
+Correctness strategy: hand-checked small cases, agreement between the
+two in-repo algorithms, agreement with networkx as an external oracle,
+and hypothesis-generated random multigraphs.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import BipartiteMultigraph, build_multigraph
+from repro.matching.augmenting import maximum_matching_simple
+from repro.matching.hopcroft_karp import (
+    is_matching,
+    maximum_matching,
+    maximum_matching_size,
+)
+
+
+def networkx_matching_size(graph: BipartiteMultigraph) -> int:
+    """Oracle: maximum matching size via networkx on the simple graph."""
+    g = nx.Graph()
+    lefts = [("L", u) for u in graph.left_nodes]
+    g.add_nodes_from(lefts, bipartite=0)
+    for u, v, _ in graph.edges():
+        g.add_edge(("L", u), ("R", v))
+    if g.number_of_edges() == 0:
+        return 0
+    matching = nx.bipartite.maximum_matching(g, top_nodes=lefts)
+    return len(matching) // 2
+
+
+class TestSmallCases:
+    def test_empty(self):
+        assert maximum_matching(BipartiteMultigraph()) == {}
+
+    def test_single_edge(self):
+        g = build_multigraph([("u", "v", "e")])
+        assert maximum_matching(g) == {"e": ("u", "v")}
+
+    def test_parallel_edges_count_once(self):
+        g = build_multigraph([("u", "v", "e1"), ("u", "v", "e2")])
+        matched = maximum_matching(g)
+        assert len(matched) == 1
+
+    def test_parallel_edges_pick_first_inserted(self):
+        g = build_multigraph([("u", "v", "e1"), ("u", "v", "e2")])
+        assert list(maximum_matching(g)) == ["e1"]
+
+    def test_perfect_matching(self):
+        g = build_multigraph(
+            [("u1", "v1", 1), ("u1", "v2", 2), ("u2", "v1", 3), ("u2", "v2", 4)]
+        )
+        assert maximum_matching_size(g) == 2
+
+    def test_star_matches_one(self):
+        g = build_multigraph([("u", f"v{i}", i) for i in range(5)])
+        assert maximum_matching_size(g) == 1
+
+    def test_augmenting_path_needed(self):
+        # u1 prefers v1 greedily, forcing augmentation for u2.
+        g = build_multigraph([("u1", "v1", 1), ("u1", "v2", 2), ("u2", "v1", 3)])
+        assert maximum_matching_size(g) == 2
+
+    def test_long_augmenting_chain(self):
+        # Path graph: u1-v1-u2-v2-u3-v3 ... perfect matching exists.
+        edges = []
+        for i in range(1, 5):
+            edges.append((f"u{i}", f"v{i}", f"own{i}"))
+            if i < 4:
+                edges.append((f"u{i+1}", f"v{i}", f"cross{i}"))
+        g = build_multigraph(edges)
+        assert maximum_matching_size(g) == 4
+
+    def test_result_is_a_matching(self):
+        g = build_multigraph(
+            [("u1", "v1", 1), ("u2", "v1", 2), ("u2", "v2", 3), ("u3", "v2", 4)]
+        )
+        matched = maximum_matching(g)
+        assert is_matching(g, set(matched))
+
+    def test_is_matching_detects_conflicts(self):
+        g = build_multigraph([("u", "v1", 1), ("u", "v2", 2)])
+        assert not is_matching(g, {1, 2})
+        assert is_matching(g, {1})
+        assert is_matching(g, set())
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_multigraphs_match_oracles(self, seed):
+        rng = random.Random(seed)
+        g = BipartiteMultigraph()
+        num_left = rng.randint(1, 10)
+        num_right = rng.randint(1, 10)
+        for key in range(rng.randint(0, 40)):
+            g.add_edge(
+                ("u", rng.randint(1, num_left)),
+                ("v", rng.randint(1, num_right)),
+                key=key,
+            )
+        hk = maximum_matching_size(g)
+        simple = len(maximum_matching_simple(g))
+        assert hk == simple
+        assert hk == networkx_matching_size(g)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hk_result_is_valid_matching(self, seed):
+        rng = random.Random(100 + seed)
+        g = BipartiteMultigraph()
+        for key in range(30):
+            g.add_edge(
+                ("u", rng.randint(1, 6)), ("v", rng.randint(1, 6)), key=key
+            )
+        assert is_matching(g, set(maximum_matching(g)))
+
+
+@st.composite
+def bipartite_multigraphs(draw):
+    num_left = draw(st.integers(1, 7))
+    num_right = draw(st.integers(1, 7))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(1, num_left), st.integers(1, num_right)
+            ),
+            max_size=25,
+        )
+    )
+    g = BipartiteMultigraph()
+    for key, (u, v) in enumerate(edges):
+        g.add_edge(("u", u), ("v", v), key=key)
+    return g
+
+
+class TestHypothesis:
+    @settings(max_examples=60, deadline=None)
+    @given(bipartite_multigraphs())
+    def test_matches_networkx(self, g):
+        assert maximum_matching_size(g) == networkx_matching_size(g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(bipartite_multigraphs())
+    def test_agrees_with_simple_and_is_valid(self, g):
+        matched = maximum_matching(g)
+        assert is_matching(g, set(matched))
+        assert len(matched) == len(maximum_matching_simple(g))
+
+    @settings(max_examples=40, deadline=None)
+    @given(bipartite_multigraphs())
+    def test_konig_bound(self, g):
+        # Matching size never exceeds either side's node count.
+        size = maximum_matching_size(g)
+        assert size <= len(g.left_nodes)
+        assert size <= len(g.right_nodes)

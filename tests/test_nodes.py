@@ -1,0 +1,49 @@
+"""Unit tests for typed node identifiers."""
+
+from repro.core.nodes import (
+    Destination,
+    InputSwitch,
+    MiddleSwitch,
+    OutputSwitch,
+    Source,
+)
+
+
+class TestIdentity:
+    def test_source_not_equal_destination(self):
+        assert Source(1, 1) != Destination(1, 1)
+
+    def test_input_not_equal_output_switch(self):
+        assert InputSwitch(1) != OutputSwitch(1)
+
+    def test_input_not_equal_middle_switch(self):
+        assert InputSwitch(1) != MiddleSwitch(1)
+
+    def test_same_type_same_indices_equal(self):
+        assert Source(2, 3) == Source(2, 3)
+
+    def test_hashable_and_distinct_in_sets(self):
+        nodes = {Source(1, 1), Destination(1, 1), InputSwitch(1), OutputSwitch(1)}
+        assert len(nodes) == 4
+
+    def test_usable_as_dict_keys(self):
+        d = {Source(1, 1): "a", Destination(1, 1): "b"}
+        assert d[Source(1, 1)] == "a"
+        assert d[Destination(1, 1)] == "b"
+
+
+class TestFields:
+    def test_source_fields(self):
+        s = Source(3, 2)
+        assert s.switch == 3
+        assert s.server == 2
+
+    def test_switch_index(self):
+        assert MiddleSwitch(4).index == 4
+
+    def test_reprs_match_paper_notation(self):
+        assert repr(Source(1, 2)) == "s1^2"
+        assert repr(Destination(3, 1)) == "t3^1"
+        assert repr(InputSwitch(2)) == "I2"
+        assert repr(OutputSwitch(5)) == "O5"
+        assert repr(MiddleSwitch(1)) == "M1"

@@ -1,0 +1,194 @@
+"""Tests for the exact routing-objective solvers (Definitions 2.4 / 2.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import lex_compare
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import (
+    lex_max_min_fair,
+    macro_switch_max_min,
+    throughput_max_min_fair,
+)
+from repro.core.routing import Routing, all_middle_assignments
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+from tests.helpers import random_flows
+
+
+class TestMacroSwitchMaxMin:
+    def test_unique_and_deterministic(self):
+        ms = MacroSwitch(2)
+        flows = FlowCollection()
+        flows.add_pair(ms.source(1, 1), ms.destination(1, 1), count=2)
+        a1 = macro_switch_max_min(ms, flows)
+        a2 = macro_switch_max_min(ms, flows)
+        assert a1.rates() == a2.rates()
+
+    def test_matches_direct_water_filling(self):
+        ms = MacroSwitch(2)
+        flows = random_flows(ClosNetwork(2), 8, seed=0)
+        direct = max_min_fair(
+            Routing.for_macro_switch(ms, flows), ms.graph.capacities()
+        )
+        assert macro_switch_max_min(ms, flows).rates() == direct.rates()
+
+
+class TestLexMaxMin:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            lex_max_min_fair(ClosNetwork(2), FlowCollection())
+
+    def test_single_flow_full_rate(self):
+        clos = ClosNetwork(2)
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        result = lex_max_min_fair(clos, FlowCollection([f]))
+        assert result.allocation.rate(f) == 1
+
+    def test_spreads_conflicting_flows(self):
+        """Two flows sharing only ToR switches get disjoint middles."""
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        f1 = flows.add(Flow(clos.source(1, 1), clos.destination(3, 1)))
+        f2 = flows.add(Flow(clos.source(1, 2), clos.destination(3, 2)))
+        result = lex_max_min_fair(clos, flows)
+        assert result.allocation.rate(f1) == 1
+        assert result.allocation.rate(f2) == 1
+        middles = result.routing.middles(clos)
+        assert middles[f1] != middles[f2]
+
+    def test_symmetry_reduction_is_lossless(self):
+        """Optimal sorted vector identical with and without pruning.
+
+        (The solvers may stop early on reaching the macro-switch bound,
+        so only the optima — not the examined counts — are comparable.)
+        """
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=11)
+        with_symmetry = lex_max_min_fair(clos, flows, use_symmetry=True)
+        without = lex_max_min_fair(clos, flows, use_symmetry=False)
+        assert (
+            with_symmetry.allocation.sorted_vector()
+            == without.allocation.sorted_vector()
+        )
+
+    def test_macro_bound_early_exit(self):
+        """Instances whose macro vector is attainable stop early."""
+        from repro.search.enumeration import routing_space_size
+
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        f1 = flows.add(Flow(clos.source(1, 1), clos.destination(3, 1)))
+        f2 = flows.add(Flow(clos.source(1, 2), clos.destination(3, 2)))
+        f3 = flows.add(Flow(clos.source(2, 1), clos.destination(4, 1)))
+        result = lex_max_min_fair(clos, flows)
+        assert result.allocation.sorted_vector() == [1, 1, 1]
+        assert result.examined < routing_space_size(3, 2, use_symmetry=True)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dominates_every_routing(self, seed):
+        """Definition 2.4 verbatim: lex-max over all n^F routings."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 4, seed=seed)
+        optimal = lex_max_min_fair(clos, flows)
+        capacities = clos.graph.capacities()
+        for assignment in all_middle_assignments(flows, clos.n):
+            routing = Routing.from_middles(clos, flows, assignment)
+            alloc = max_min_fair(routing, capacities)
+            assert (
+                lex_compare(
+                    optimal.allocation.sorted_vector(), alloc.sorted_vector()
+                )
+                >= 0
+            )
+
+    def test_never_exceeds_macro_switch(self):
+        """§2.3: the macro-switch sorted vector lex-dominates L-MmF."""
+        clos = ClosNetwork(2)
+        ms = MacroSwitch(2)
+        for seed in range(4):
+            flows = random_flows(clos, 5, seed=seed)
+            macro = macro_switch_max_min(ms, flows)
+            network = lex_max_min_fair(clos, flows)
+            assert (
+                lex_compare(
+                    macro.sorted_vector(),
+                    network.allocation.sorted_vector(),
+                )
+                >= 0
+            )
+
+
+class TestThroughputMaxMin:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            throughput_max_min_fair(ClosNetwork(2), FlowCollection())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dominates_every_routing(self, seed):
+        """Definition 2.5 verbatim: max throughput over all routings."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 4, seed=seed)
+        optimal = throughput_max_min_fair(clos, flows)
+        capacities = clos.graph.capacities()
+        for assignment in all_middle_assignments(flows, clos.n):
+            routing = Routing.from_middles(clos, flows, assignment)
+            alloc = max_min_fair(routing, capacities)
+            assert optimal.allocation.throughput() >= alloc.throughput()
+
+    def test_at_least_lex_max_min_throughput(self):
+        """T-MmF maximizes throughput, so it ≥ the lex optimum's throughput."""
+        clos = ClosNetwork(2)
+        for seed in range(4):
+            flows = random_flows(clos, 5, seed=seed)
+            lex = lex_max_min_fair(clos, flows)
+            thr = throughput_max_min_fair(clos, flows)
+            assert thr.allocation.throughput() >= lex.allocation.throughput()
+
+    def test_allocation_is_max_min_for_its_routing(self):
+        """Definition 2.5: the allocation must still be per-routing max-min."""
+        from repro.core.bottleneck import is_max_min_fair
+
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=2)
+        result = throughput_max_min_fair(clos, flows)
+        assert is_max_min_fair(
+            result.routing, result.allocation, clos.graph.capacities()
+        )
+
+    def test_symmetry_reduction_is_lossless(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=3)
+        with_symmetry = throughput_max_min_fair(clos, flows, use_symmetry=True)
+        without = throughput_max_min_fair(clos, flows, use_symmetry=False)
+        assert (
+            with_symmetry.allocation.throughput()
+            == without.allocation.throughput()
+        )
+
+    def test_stop_at_max_throughput_flag(self):
+        """Early exit at T^MT gives the same optimal throughput, faster."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=1)
+        full = throughput_max_min_fair(clos, flows)
+        early = throughput_max_min_fair(clos, flows, stop_at_max_throughput=True)
+        # the break fires only at T^MT, which upper-bounds the optimum,
+        # so the early variant's *throughput* is always exact (only the
+        # lexicographic tie-break refinement may differ)
+        assert early.allocation.throughput() == full.allocation.throughput()
+        assert early.examined <= full.examined
+
+    def test_upper_bound_against_macro_on_example_2_3(self):
+        """Theorem 5.4's upper bound on the exactly solvable instance.
+
+        (The strict T-MmF > T^MmF case needs the n = 7 Figure 4 gadget,
+        whose routing space is beyond exhaustive search; the Doom-Switch
+        witness in the experiments covers it.)"""
+        from repro.workloads.adversarial import example_2_3
+
+        small = example_2_3()
+        macro = macro_switch_max_min(small.macro, small.flows)
+        thr = throughput_max_min_fair(small.clos, small.flows)
+        assert thr.allocation.throughput() <= 2 * macro.throughput()

@@ -1,0 +1,91 @@
+"""Tests for the oversubscription generalization (E15)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.flows import FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.experiments.oversubscription import permutation_sweep, sweep
+from repro.lp.feasibility import splittable_feasible
+from repro.workloads.stochastic import permutation
+
+
+class TestTopologyParameters:
+    def test_default_is_full_bisection(self):
+        clos = ClosNetwork(3)
+        assert clos.oversubscription() == 1
+        assert clos.interior_capacity == 1
+
+    def test_capacities_applied(self):
+        clos = ClosNetwork(2, interior_capacity=Fraction(1, 2))
+        from repro.core.nodes import InputSwitch, MiddleSwitch
+
+        assert clos.graph.capacity(InputSwitch(1), MiddleSwitch(1)) == Fraction(
+            1, 2
+        )
+        # server links unchanged
+        assert clos.graph.capacity(clos.source(1, 1), InputSwitch(1)) == 1
+
+    def test_oversubscription_ratio(self):
+        clos = ClosNetwork(4, interior_capacity=Fraction(1, 2))
+        assert clos.oversubscription() == 2
+
+    def test_extra_middles_restore_bisection(self):
+        clos = ClosNetwork(2, middle_count=4, interior_capacity=Fraction(1, 2))
+        assert clos.oversubscription() == 1
+
+    def test_invalid_capacities(self):
+        with pytest.raises(ValueError):
+            ClosNetwork(2, interior_capacity=0)
+        with pytest.raises(ValueError):
+            ClosNetwork(2, server_capacity=-1)
+
+    def test_water_filling_respects_thin_interior(self):
+        clos = ClosNetwork(2, interior_capacity=Fraction(1, 2))
+        flows = FlowCollection()
+        f = flows.add_pair(clos.source(1, 1), clos.destination(3, 1))[0]
+        routing = Routing.uniform(clos, flows, 1)
+        alloc = max_min_fair(routing, clos.graph.capacities())
+        assert alloc.rate(f) == Fraction(1, 2)  # interior binds
+
+
+class TestSweep:
+    def test_lemma_5_2_sharp_in_its_premise(self):
+        rows = sweep(capacities=(Fraction(1), Fraction(1, 2)))
+        by_capacity = {row.interior_capacity: row for row in rows}
+        assert by_capacity[Fraction(1)].lemma_5_2_equality
+        assert not by_capacity[Fraction(1, 2)].lemma_5_2_equality
+
+    def test_monotone_degradation(self):
+        rows = sweep(
+            capacities=(Fraction(1), Fraction(3, 4), Fraction(1, 2))
+        )
+        fractions_ = [row.throughput_fraction for row in rows]
+        assert fractions_ == sorted(fractions_, reverse=True)
+        ratios = [row.min_rate_ratio for row in rows]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_clos_lp_scales_with_capacity(self):
+        rows = sweep(capacities=(Fraction(1), Fraction(1, 2)))
+        full, half = rows[0], rows[1]
+        assert half.t_clos_lp == pytest.approx(full.t_clos_lp / 2)
+
+    def test_permutation_closed_form(self):
+        rows = permutation_sweep(
+            capacities=(Fraction(1), Fraction(1, 2), Fraction(1, 4))
+        )
+        for row in rows:
+            assert row.per_flow_rate == row.expected
+
+    def test_splittable_fails_under_full_load_oversubscription(self):
+        """Permutation demands at rate 1 need the full bisection: any
+        interior thinning breaks even *splittable* routability."""
+        reference = ClosNetwork(3)
+        flows = permutation(reference, seed=0)
+        demands = {f: Fraction(1) for f in flows}
+        assert splittable_feasible(reference, flows, demands)
+        thin = ClosNetwork(3, interior_capacity=Fraction(3, 4))
+        assert not splittable_feasible(thin, flows, demands)

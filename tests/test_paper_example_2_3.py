@@ -1,0 +1,150 @@
+"""Paper reproduction — Figure 1 / Example 2.3, claim by claim."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import lex_compare
+from repro.core.bottleneck import bottleneck_links, certify_max_min_fair
+from repro.core.maxmin import max_min_fair
+from repro.core.nodes import InputSwitch, MiddleSwitch, OutputSwitch
+from repro.core.objectives import lex_max_min_fair, macro_switch_max_min
+from repro.core.theorems import example_2_3_sorted_vectors
+from repro.workloads.adversarial import example_2_3, example_2_3_routings
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return example_2_3()
+
+
+@pytest.fixture(scope="module")
+def macro_alloc(instance):
+    return macro_switch_max_min(instance.macro, instance.flows)
+
+
+class TestMacroSwitchDerivation:
+    """The example's step-by-step macro-switch reasoning."""
+
+    def test_type1_rates_third(self, instance, macro_alloc):
+        for f in instance.types["type1"]:
+            assert macro_alloc.rate(f) == Fraction(1, 3)
+
+    def test_type1_bottleneck_is_source_link(self, instance, macro_alloc):
+        """'each type 1 flow is ... bottlenecked on s_1^2 I_1'."""
+        from repro.core.routing import Routing
+
+        routing = Routing.for_macro_switch(instance.macro, instance.flows)
+        capacities = instance.macro.graph.capacities()
+        source_link = (instance.macro.source(1, 2), InputSwitch(1))
+        for f in instance.types["type1"]:
+            assert bottleneck_links(routing, macro_alloc, capacities, f) == [
+                source_link
+            ]
+
+    def test_type2_rates_two_thirds(self, instance, macro_alloc):
+        for f in instance.types["type2"]:
+            assert macro_alloc.rate(f) == Fraction(2, 3)
+
+    def test_type2_bottlenecks_on_destination_links(self, instance, macro_alloc):
+        from repro.core.routing import Routing
+
+        routing = Routing.for_macro_switch(instance.macro, instance.flows)
+        capacities = instance.macro.graph.capacities()
+        for f in instance.types["type2"]:
+            links = bottleneck_links(routing, macro_alloc, capacities, f)
+            assert links == [(OutputSwitch(f.dest.switch), f.dest)]
+
+    def test_type3_rate_one_with_both_bottlenecks(self, instance, macro_alloc):
+        from repro.core.routing import Routing
+
+        (type3,) = instance.types["type3"]
+        assert macro_alloc.rate(type3) == 1
+        routing = Routing.for_macro_switch(instance.macro, instance.flows)
+        capacities = instance.macro.graph.capacities()
+        links = bottleneck_links(routing, macro_alloc, capacities, type3)
+        assert len(links) == 2  # both its server links
+
+    def test_sorted_vector(self, macro_alloc):
+        expected = example_2_3_sorted_vectors()["macro_switch"]
+        assert macro_alloc.sorted_vector() == expected
+
+
+class TestClosRoutings:
+    """The example's two contrasted routings in C_2."""
+
+    def test_routing_a_vector(self, instance):
+        routing_a, _ = example_2_3_routings(instance)
+        alloc = max_min_fair(routing_a, instance.clos.graph.capacities())
+        assert alloc.sorted_vector() == example_2_3_sorted_vectors()["routing_a"]
+
+    def test_routing_a_type3_bottleneck_transfers_inside(self, instance):
+        """'the type 3 flow transfers its bottleneck to I_1 M_1'."""
+        routing_a, _ = example_2_3_routings(instance)
+        capacities = instance.clos.graph.capacities()
+        alloc = max_min_fair(routing_a, capacities)
+        (type3,) = instance.types["type3"]
+        assert alloc.rate(type3) == Fraction(2, 3)
+        links = bottleneck_links(routing_a, alloc, capacities, type3)
+        assert links == [(InputSwitch(1), MiddleSwitch(1))]
+
+    def test_routing_b_vector(self, instance):
+        _, routing_b = example_2_3_routings(instance)
+        alloc = max_min_fair(routing_b, instance.clos.graph.capacities())
+        assert alloc.sorted_vector() == example_2_3_sorted_vectors()["routing_b"]
+
+    def test_routing_b_type2_bottleneck_transfers(self, instance):
+        """'the type 2 flow (s_2^2, t_2^2) now transfers its bottleneck to
+        M_2 O_2, thus decreasing its rate to 1/3'."""
+        _, routing_b = example_2_3_routings(instance)
+        capacities = instance.clos.graph.capacities()
+        alloc = max_min_fair(routing_b, capacities)
+        type2_b = instance.types["type2"][1]  # (s_2^2, t_2^2)
+        assert alloc.rate(type2_b) == Fraction(1, 3)
+        links = bottleneck_links(routing_b, alloc, capacities, type2_b)
+        assert (MiddleSwitch(2), OutputSwitch(2)) in links
+
+    def test_routing_b_type3_recovers_full_rate(self, instance):
+        _, routing_b = example_2_3_routings(instance)
+        alloc = max_min_fair(routing_b, instance.clos.graph.capacities())
+        (type3,) = instance.types["type3"]
+        assert alloc.rate(type3) == 1
+
+    def test_both_routings_certified_max_min(self, instance):
+        capacities = instance.clos.graph.capacities()
+        for routing in example_2_3_routings(instance):
+            alloc = max_min_fair(routing, capacities)
+            assert certify_max_min_fair(routing, alloc, capacities) is None
+
+
+class TestLexicographicOrdering:
+    """'the sorted vector ... for the first routing is greater in
+    lexicographic order than ... for the second routing; the sorted vector
+    of the max-min fair allocation in the macro-switch is greater than the
+    latter two.'"""
+
+    def test_macro_beats_routing_a(self, instance, macro_alloc):
+        routing_a, _ = example_2_3_routings(instance)
+        alloc_a = max_min_fair(routing_a, instance.clos.graph.capacities())
+        assert (
+            lex_compare(macro_alloc.sorted_vector(), alloc_a.sorted_vector()) > 0
+        )
+
+    def test_routing_a_beats_routing_b(self, instance):
+        routing_a, routing_b = example_2_3_routings(instance)
+        capacities = instance.clos.graph.capacities()
+        alloc_a = max_min_fair(routing_a, capacities)
+        alloc_b = max_min_fair(routing_b, capacities)
+        assert lex_compare(alloc_a.sorted_vector(), alloc_b.sorted_vector()) > 0
+
+    def test_routing_a_is_globally_lex_optimal(self, instance):
+        """Beyond the paper: routing A attains the exact lex-max-min."""
+        result = lex_max_min_fair(instance.clos, instance.flows)
+        routing_a, _ = example_2_3_routings(instance)
+        alloc_a = max_min_fair(routing_a, instance.clos.graph.capacities())
+        assert (
+            lex_compare(
+                result.allocation.sorted_vector(), alloc_a.sorted_vector()
+            )
+            == 0
+        )

@@ -1,0 +1,135 @@
+"""Paper reproduction — Theorem 3.4 (R1): the price of fairness.
+
+Both halves of the theorem: the universal lower bound
+``T^MmF ≥ T^MT / 2`` (checked on adversarial, stochastic and
+hypothesis-generated inputs) and the tightness construction
+(``T^MmF = (1 + ε) T^MT / 2`` with ``ε = 1/(k+1)``).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import FlowCollection
+from repro.core.objectives import macro_switch_max_min
+from repro.core.theorems import theorem_3_4 as predict
+from repro.core.throughput import max_throughput_value
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.workloads.adversarial import theorem_3_4
+from repro.workloads.stochastic import hotspot, incast, permutation, uniform_random
+
+from tests.helpers import random_flows
+
+
+class TestExample33:
+    """Figure 2 with k = 1, exactly as worked in the example."""
+
+    def test_max_throughput_two(self):
+        instance = theorem_3_4(1, 1)
+        assert max_throughput_value(instance.flows) == 2
+
+    def test_max_min_all_rates_half(self):
+        instance = theorem_3_4(1, 1)
+        alloc = macro_switch_max_min(instance.macro, instance.flows)
+        assert set(alloc.rates().values()) == {Fraction(1, 2)}
+
+    def test_max_min_throughput_three_halves(self):
+        instance = theorem_3_4(1, 1)
+        alloc = macro_switch_max_min(instance.macro, instance.flows)
+        assert alloc.throughput() == Fraction(3, 2)
+
+    def test_quarter_of_throughput_lost(self):
+        from repro.analysis.metrics import price_of_fairness
+
+        instance = theorem_3_4(1, 1)
+        t_mmf = macro_switch_max_min(instance.macro, instance.flows).throughput()
+        t_mt = max_throughput_value(instance.flows)
+        assert price_of_fairness(t_mmf, Fraction(t_mt)) == Fraction(1, 4)
+
+
+class TestTightness:
+    """The k-parameterized construction drives the ratio to 1/2."""
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10, 50, 200])
+    def test_measured_equals_predicted(self, k):
+        instance = theorem_3_4(1, k)
+        prediction = predict(k)
+        t_mmf = macro_switch_max_min(instance.macro, instance.flows).throughput()
+        t_mt = max_throughput_value(instance.flows)
+        assert t_mt == prediction.max_throughput
+        assert t_mmf == prediction.max_min_throughput
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_all_flows_rate_one_over_k_plus_one(self, k):
+        instance = theorem_3_4(1, k)
+        alloc = macro_switch_max_min(instance.macro, instance.flows)
+        assert set(alloc.rates().values()) == {Fraction(1, k + 1)}
+
+    def test_ratio_monotonically_approaches_half(self):
+        ratios = []
+        for k in (1, 2, 4, 8, 16, 32):
+            instance = theorem_3_4(1, k)
+            t_mmf = macro_switch_max_min(
+                instance.macro, instance.flows
+            ).throughput()
+            ratios.append(t_mmf / max_throughput_value(instance.flows))
+        assert ratios == sorted(ratios, reverse=True)
+        assert all(r > Fraction(1, 2) for r in ratios)
+        assert ratios[-1] - Fraction(1, 2) < Fraction(1, 30)
+
+    def test_construction_embeds_in_larger_networks(self):
+        """The theorem is stated 'for every macro-switch MS_n'."""
+        for n in (1, 2, 4):
+            instance = theorem_3_4(n, 3)
+            prediction = predict(3)
+            t_mmf = macro_switch_max_min(
+                instance.macro, instance.flows
+            ).throughput()
+            assert t_mmf == prediction.max_min_throughput
+
+
+class TestUniversalLowerBound:
+    """T^MmF ≥ T^MT / 2 for *every* collection of flows."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_on_random_flows(self, seed):
+        clos = ClosNetwork(3)
+        ms = MacroSwitch(3)
+        flows = random_flows(clos, 30, seed=seed)
+        t_mmf = macro_switch_max_min(ms, flows).throughput()
+        assert 2 * t_mmf >= max_throughput_value(flows)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda c: uniform_random(c, 40, seed=1),
+            lambda c: permutation(c, seed=1),
+            lambda c: hotspot(c, 40, seed=1),
+            lambda c: incast(c, fan_in=10, seed=1),
+        ],
+        ids=["uniform", "permutation", "hotspot", "incast"],
+    )
+    def test_on_stochastic_families(self, maker):
+        clos = ClosNetwork(3)
+        ms = MacroSwitch(3)
+        flows = maker(clos)
+        t_mmf = macro_switch_max_min(ms, flows).throughput()
+        assert 2 * t_mmf >= max_throughput_value(flows)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_hypothesis(self, data):
+        n = data.draw(st.integers(1, 3), label="n")
+        ms = MacroSwitch(n)
+        num_flows = data.draw(st.integers(1, 12), label="num_flows")
+        flows = FlowCollection()
+        for _ in range(num_flows):
+            i = data.draw(st.integers(1, 2 * n))
+            j = data.draw(st.integers(1, n))
+            oi = data.draw(st.integers(1, 2 * n))
+            oj = data.draw(st.integers(1, n))
+            flows.add_pair(ms.source(i, j), ms.destination(oi, oj))
+        t_mmf = macro_switch_max_min(ms, flows).throughput()
+        assert 2 * t_mmf >= max_throughput_value(flows)

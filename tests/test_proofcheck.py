@@ -1,0 +1,93 @@
+"""Tests for the step-level proof instrumentation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flows import FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.proofcheck import theorem_3_4_chain, theorem_5_4_chain
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.workloads.adversarial import theorem_3_4, theorem_5_4
+
+from tests.helpers import random_flows, random_routing
+
+
+class TestTheorem34Chain:
+    def test_example_3_3_quantities(self):
+        """The worked example's numbers appear in the chain."""
+        instance = theorem_3_4(1, 1)
+        chain = theorem_3_4_chain(instance.macro, instance.flows)
+        assert chain.t_max_min == Fraction(3, 2)
+        assert chain.t_max_throughput == 2
+        assert chain.all_steps_hold
+        # τ_{s_2^1} = 1/2 + 1/2 = 1 (two flows leave s_2^1)
+        s21 = instance.macro.source(2, 1)
+        assert chain.tau_source[s21] == 1
+
+    def test_adversarial_k_sweep(self):
+        for k in (1, 4, 16):
+            instance = theorem_3_4(1, k)
+            chain = theorem_3_4_chain(instance.macro, instance.flows)
+            assert chain.all_steps_hold
+            assert chain.t_max_min == 1 + Fraction(1, k + 1)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_every_step(self, seed):
+        clos = ClosNetwork(3)
+        ms = MacroSwitch(3)
+        flows = random_flows(clos, 20, seed=seed)
+        chain = theorem_3_4_chain(ms, flows)
+        assert chain.step_flow_conservation
+        assert chain.step_matching_subsums
+        assert chain.step_bottleneck_pairs
+        assert chain.step_final_bound
+        assert chain.all_steps_hold
+
+    def test_matched_pair_totals_at_least_one(self):
+        clos = ClosNetwork(2)
+        ms = MacroSwitch(2)
+        flows = random_flows(clos, 12, seed=0)
+        chain = theorem_3_4_chain(ms, flows)
+        assert all(total >= 1 for total in chain.matched_pair_totals.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_hypothesis_chain(self, data):
+        n = data.draw(st.integers(1, 2), label="n")
+        ms = MacroSwitch(n)
+        num_flows = data.draw(st.integers(1, 10), label="num_flows")
+        flows = FlowCollection()
+        for _ in range(num_flows):
+            i = data.draw(st.integers(1, 2 * n))
+            j = data.draw(st.integers(1, n))
+            oi = data.draw(st.integers(1, 2 * n))
+            oj = data.draw(st.integers(1, n))
+            flows.add_pair(ms.source(i, j), ms.destination(oi, oj))
+        assert theorem_3_4_chain(ms, flows).all_steps_hold
+
+
+class TestTheorem54Chain:
+    def test_doom_switch_allocation(self):
+        from repro.core.doom_switch import doom_switch
+
+        instance = theorem_5_4(7, 2)
+        result = doom_switch(instance.clos, instance.flows)
+        chain = theorem_5_4_chain(
+            instance.clos, instance.flows, result.allocation
+        )
+        assert chain.all_steps_hold
+        assert chain.t_allocation == 5  # n - 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_routings(self, seed):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 8, seed=seed)
+        routing = random_routing(clos, flows, seed=seed)
+        allocation = max_min_fair(routing, clos.graph.capacities())
+        chain = theorem_5_4_chain(clos, flows, allocation)
+        assert chain.step_allocation_below_mt
+        assert chain.step_mt_below_twice_mmf
+        assert chain.all_steps_hold

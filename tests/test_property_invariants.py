@@ -1,0 +1,217 @@
+"""Cross-cutting property-based tests over the whole library.
+
+Each property ties two or more subsystems together, so a bug anywhere in
+the pipeline (topology → routing → water-filling → certificates →
+objectives) surfaces as a counterexample here.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocation, is_feasible, lex_compare
+from repro.core.bottleneck import is_max_min_fair
+from repro.core.doom_switch import doom_switch
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import macro_switch_max_min
+from repro.core.routing import Routing
+from repro.core.throughput import max_throughput_value, throughput_max_throughput
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.dynamics.waterlevel import LinkFairShareDynamics
+from repro.lp.feasibility import find_feasible_routing
+
+
+@st.composite
+def clos_instances(draw, max_n=3, max_flows=10):
+    """A Clos network with a random flow collection and routing."""
+    n = draw(st.integers(1, max_n), label="n")
+    clos = ClosNetwork(n)
+    num_flows = draw(st.integers(1, max_flows), label="num_flows")
+    flows = FlowCollection()
+    for _ in range(num_flows):
+        i = draw(st.integers(1, 2 * n))
+        j = draw(st.integers(1, n))
+        oi = draw(st.integers(1, 2 * n))
+        oj = draw(st.integers(1, n))
+        flows.add_pair(clos.source(i, j), clos.destination(oi, oj))
+    middles = {f: draw(st.integers(1, n), label="middle") for f in flows}
+    routing = Routing.from_middles(clos, flows, middles)
+    return clos, flows, routing
+
+
+class TestWaterFillingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(clos_instances())
+    def test_moving_one_flow_keeps_certificate(self, instance):
+        """Max-min fairness is preserved by recomputation after any move."""
+        clos, flows, routing = instance
+        capacities = clos.graph.capacities()
+        flow = flows[0]
+        for m in range(1, clos.n + 1):
+            moved = routing.reassigned(clos, flow, m)
+            alloc = max_min_fair(moved, capacities)
+            assert is_max_min_fair(moved, alloc, capacities)
+
+    @settings(max_examples=40, deadline=None)
+    @given(clos_instances())
+    def test_adding_a_flow_never_lex_improves(self, instance):
+        """More flows can only (weakly) lower the sorted rate vector
+        prefix — congestion control admits everyone at a fairness cost."""
+        clos, flows, routing = instance
+        capacities = clos.graph.capacities()
+        before = max_min_fair(routing, capacities)
+        extra = Flow(clos.sources[0], clos.destinations[-1], tag=999)
+        grown = FlowCollection(list(flows) + [extra])
+        middles = routing.middles(clos)
+        middles[extra] = 1
+        grown_routing = Routing.from_middles(clos, grown, middles)
+        after = max_min_fair(grown_routing, capacities)
+        # compare the sorted vectors restricted to the original flows
+        original_after = sorted(after.rate(f) for f in flows)
+        assert (
+            lex_compare(before.sorted_vector(), original_after) >= 0
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(clos_instances(max_n=2, max_flows=6))
+    def test_scaling_capacities_scales_rates(self, instance):
+        """Water-filling is homogeneous: doubling capacities doubles rates."""
+        clos, flows, routing = instance
+        capacities = clos.graph.capacities()
+        doubled = {link: 2 * c for link, c in capacities.items()}
+        base = max_min_fair(routing, capacities)
+        scaled = max_min_fair(routing, doubled)
+        for f in flows:
+            assert scaled.rate(f) == 2 * base.rate(f)
+
+    @settings(max_examples=30, deadline=None)
+    @given(clos_instances(max_n=2, max_flows=8))
+    def test_throughput_between_bounds(self, instance):
+        """T^MmF(clos routing) ≤ T^MT and the R1 bound on the macro side."""
+        clos, flows, routing = instance
+        alloc = max_min_fair(routing, clos.graph.capacities())
+        t_mt = max_throughput_value(flows)
+        assert alloc.throughput() <= t_mt
+        macro = macro_switch_max_min(MacroSwitch(clos.n), flows)
+        assert 2 * macro.throughput() >= t_mt
+
+
+class TestCrossSolverAgreement:
+    @settings(max_examples=25, deadline=None)
+    @given(clos_instances(max_n=3, max_flows=10))
+    def test_dynamics_agree_with_water_filling(self, instance):
+        clos, flows, routing = instance
+        capacities = clos.graph.capacities()
+        oracle = max_min_fair(routing, capacities, exact=False)
+        trace = LinkFairShareDynamics(routing, capacities).run(max_rounds=300)
+        assert trace.converged
+        for f in flows:
+            assert abs(trace.rates[f] - oracle.rate(f)) < 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(clos_instances(max_n=3, max_flows=10))
+    def test_doom_switch_always_valid_and_bounded(self, instance):
+        clos, flows, _ = instance
+        result = doom_switch(clos, flows)
+        capacities = clos.graph.capacities()
+        assert is_max_min_fair(result.routing, result.allocation, capacities)
+        macro = macro_switch_max_min(MacroSwitch(clos.n), flows)
+        assert result.allocation.throughput() <= 2 * macro.throughput()
+
+    @settings(max_examples=25, deadline=None)
+    @given(clos_instances(max_n=3, max_flows=12))
+    def test_lemma_5_2_always(self, instance):
+        clos, flows, _ = instance
+        routing, alloc = throughput_max_throughput(clos, flows)
+        assert alloc.throughput() == max_throughput_value(flows)
+        assert is_feasible(routing, alloc, clos.graph.capacities())
+
+
+class TestFeasibilitySearchSoundness:
+    @settings(max_examples=20, deadline=None)
+    @given(clos_instances(max_n=2, max_flows=6), st.integers(0, 10**6))
+    def test_found_routings_truly_feasible(self, instance, seed):
+        """Whenever the exact search says feasible, the witness checks out
+        against the independent feasibility predicate."""
+        clos, flows, _ = instance
+        rng = random.Random(seed)
+        demands = {
+            f: Fraction(rng.randint(1, 4), 8) for f in flows
+        }
+        routing = find_feasible_routing(clos, flows, demands)
+        if routing is not None:
+            assert is_feasible(
+                routing, Allocation(demands), clos.graph.capacities()
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(clos_instances(max_n=2, max_flows=5))
+    def test_water_filling_rates_always_routable_at_own_routing(self, instance):
+        """A routing's own max-min rates are feasible demands for it —
+        and hence the exact search must find *some* feasible routing."""
+        clos, flows, routing = instance
+        alloc = max_min_fair(routing, clos.graph.capacities())
+        found = find_feasible_routing(clos, flows, alloc.rates())
+        assert found is not None
+
+
+class TestSimulationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 25), st.floats(0.5, 4.0))
+    def test_work_conservation_any_poisson_workload(self, seed, count, rate):
+        """Every policy delivers exactly the offered work, eventually."""
+        from repro.sim.flowsim import simulate
+        from repro.sim.jobs import poisson_workload
+        from repro.sim.policies import MaxMinCongestionControl
+
+        clos = ClosNetwork(2)
+        jobs = poisson_workload(
+            clos, rate=rate, horizon=count / rate, seed=seed
+        )
+        if not jobs:
+            return
+        result = simulate(jobs, MaxMinCongestionControl(clos))
+        assert not result.unfinished
+        offered = sum(j.size for j in jobs)
+        assert abs(result.work_done - offered) < 1e-6 * max(1.0, offered)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_scheduler_never_slower_than_size_per_job(self, seed):
+        """Under the matching scheduler, a job's FCT is at least its size
+        (unit links) and finite (no permanent starvation)."""
+        from repro.sim.flowsim import fct_stats, simulate
+        from repro.sim.jobs import poisson_workload
+        from repro.sim.policies import MatchingScheduler
+
+        clos = ClosNetwork(2)
+        jobs = poisson_workload(clos, rate=2.0, horizon=8.0, seed=seed)
+        if not jobs:
+            return
+        result = simulate(jobs, MatchingScheduler(clos))
+        assert not result.unfinished
+        for done in result.completed:
+            assert done.duration >= done.job.size - 1e-9
+
+
+class TestFailureProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(clos_instances(max_n=3, max_flows=8), st.integers(0, 10**6))
+    def test_failures_only_lower_the_sorted_vector(self, instance, seed):
+        """Failing links can never lex-improve a routing's allocation."""
+        from repro.failures import random_link_failures
+
+        clos, flows, routing = instance
+        capacities = clos.graph.capacities()
+        before = max_min_fair(routing, capacities)
+        degraded, _ = random_link_failures(
+            clos, capacities, count=min(2, clos.n), seed=seed
+        )
+        after = max_min_fair(routing, degraded)
+        assert (
+            lex_compare(before.sorted_vector(), after.sorted_vector()) >= 0
+        )

@@ -1,0 +1,149 @@
+"""Tests for the multirate-rearrangeability subsystem."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import Allocation, is_feasible
+from repro.core.flows import Flow, FlowCollection
+from repro.core.objectives import macro_switch_max_min
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.rearrange.first_fit import first_fit_decreasing, split_first_fit
+from repro.rearrange.minimize import (
+    conjectured_worst_case,
+    known_lower_bound,
+    known_upper_bound,
+    minimum_middles_exact,
+    minimum_middles_heuristic,
+)
+from repro.workloads.adversarial import theorem_4_2
+from repro.workloads.stochastic import permutation, uniform_random
+
+from tests.helpers import random_flows
+
+
+class TestExpandedTopology:
+    def test_middle_count_decoupled_from_n(self):
+        clos = ClosNetwork(2, middle_count=5)
+        assert clos.n == 2
+        assert clos.num_middles == 5
+        assert len(clos.middle_switches) == 5
+        assert len(clos.sources) == 8  # unchanged
+
+    def test_paths_one_per_middle(self):
+        clos = ClosNetwork(2, middle_count=4)
+        paths = clos.paths(clos.source(1, 1), clos.destination(3, 1))
+        assert len(paths) == 4
+
+    def test_default_equals_n(self):
+        assert ClosNetwork(3).num_middles == 3
+
+    def test_invalid_middle_count(self):
+        with pytest.raises(ValueError):
+            ClosNetwork(2, middle_count=0)
+
+    def test_middle_index_range_follows_count(self):
+        clos = ClosNetwork(2, middle_count=4)
+        assert clos.middle(4).index == 4
+        with pytest.raises(ValueError):
+            clos.middle(5)
+
+
+class TestFirstFit:
+    def test_routes_trivial_demands(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 6, seed=0)
+        demands = {f: Fraction(1, 100) for f in flows}
+        routing = first_fit_decreasing(clos, flows, demands)
+        assert routing is not None
+        assert is_feasible(routing, Allocation(demands), clos.graph.capacities())
+
+    def test_rejects_server_overload(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        demands = {f: Fraction(3, 4) for f in pair}
+        assert first_fit_decreasing(clos, flows, demands) is None
+        assert split_first_fit(clos, flows, demands) is None
+
+    def test_returns_none_when_middles_insufficient(self):
+        clos = ClosNetwork(3)
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        assert first_fit_decreasing(clos, instance.flows, demands) is None
+
+    def test_split_routes_unit_flows_disjointly(self):
+        clos = ClosNetwork(3)
+        flows = permutation(clos, seed=0)
+        demands = {f: Fraction(1) for f in flows}
+        routing = split_first_fit(clos, flows, demands)
+        assert routing is not None
+        for _, members in routing.flows_per_link().items():
+            assert len(members) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_results_always_feasible(self, seed):
+        clos = ClosNetwork(3, middle_count=5)
+        flows = random_flows(ClosNetwork(3), 12, seed=seed)
+        demands = macro_switch_max_min(MacroSwitch(3), flows).rates()
+        for heuristic in (first_fit_decreasing, split_first_fit):
+            routing = heuristic(clos, flows, demands)
+            if routing is not None:
+                assert is_feasible(
+                    routing, Allocation(demands), clos.graph.capacities()
+                )
+
+
+class TestMinimumMiddles:
+    def test_theorem_4_2_needs_exactly_four(self):
+        """The paper's instance: unroutable at m = 3 (Theorem 4.2),
+        routable at m = 4 — one extra middle switch repairs it."""
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        result = minimum_middles_exact(3, instance.flows, demands)
+        assert result.num_middles == 4
+        assert is_feasible(
+            result.routing, Allocation(demands), result.network.graph.capacities()
+        )
+
+    def test_heuristic_upper_bounds_exact(self):
+        instance = theorem_4_2(3)
+        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+        exact = minimum_middles_exact(3, instance.flows, demands)
+        heuristic = minimum_middles_heuristic(3, instance.flows, demands)
+        assert heuristic.num_middles >= exact.num_middles
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_macro_allocations_within_conjecture(self, seed):
+        clos = ClosNetwork(3)
+        flows = uniform_random(clos, 12, seed=seed)
+        demands = macro_switch_max_min(MacroSwitch(3), flows).rates()
+        result = minimum_middles_exact(3, flows, demands)
+        assert result.num_middles <= conjectured_worst_case(3)
+
+    def test_single_flow_needs_one_middle(self):
+        clos = ClosNetwork(2)
+        f = Flow(clos.source(1, 1), clos.destination(3, 1))
+        flows = FlowCollection([f])
+        result = minimum_middles_exact(2, flows, {f: Fraction(1)})
+        assert result.num_middles == 1
+
+    def test_infeasible_demands_raise(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        demands = {f: Fraction(1) for f in pair}  # server link overloaded
+        with pytest.raises(ValueError):
+            minimum_middles_exact(2, flows, demands, max_middles=4)
+
+
+class TestLiteratureBounds:
+    def test_bound_values(self):
+        assert conjectured_worst_case(3) == 5
+        assert known_upper_bound(3) == 7
+        assert known_lower_bound(4) == 5
+
+    def test_bound_ordering(self):
+        for n in range(2, 20):
+            assert known_lower_bound(n) <= conjectured_worst_case(n)
+            assert conjectured_worst_case(n) <= known_upper_bound(n) + 1

@@ -1,0 +1,199 @@
+"""Tests for relative-max-min fairness (§7's proposed objective)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.allocation import Allocation, lex_compare
+from repro.core.flows import Flow, FlowCollection
+from repro.core.maxmin import max_min_fair
+from repro.core.objectives import lex_max_min_fair, macro_switch_max_min
+from repro.core.relative import (
+    floor_of_routing,
+    improve_routing_relative,
+    ratio_vector,
+    relative_max_min_fair,
+)
+from repro.core.routing import Routing, all_middle_assignments
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.workloads.adversarial import example_2_3, lemma_4_6_routing, theorem_4_3
+
+from tests.helpers import random_flows
+
+
+class TestRatioVector:
+    def test_sorted_ascending(self):
+        clos = ClosNetwork(2)
+        f1 = Flow(clos.source(1, 1), clos.destination(3, 1))
+        f2 = Flow(clos.source(1, 2), clos.destination(3, 2))
+        network_alloc = Allocation({f1: Fraction(1, 2), f2: Fraction(1)})
+        macro_alloc = Allocation({f1: Fraction(1), f2: Fraction(1)})
+        assert ratio_vector(network_alloc, macro_alloc) == [
+            Fraction(1, 2),
+            Fraction(1),
+        ]
+
+    def test_zero_macro_rate_skipped(self):
+        clos = ClosNetwork(2)
+        f1 = Flow(clos.source(1, 1), clos.destination(3, 1))
+        f2 = Flow(clos.source(1, 2), clos.destination(3, 2))
+        network_alloc = Allocation({f1: 1, f2: 1})
+        macro_alloc = Allocation({f1: 0, f2: 1})
+        assert ratio_vector(network_alloc, macro_alloc) == [1]
+
+    def test_all_zero_macro_raises(self):
+        clos = ClosNetwork(2)
+        f1 = Flow(clos.source(1, 1), clos.destination(3, 1))
+        with pytest.raises(ValueError):
+            ratio_vector(Allocation({f1: 1}), Allocation({f1: 0}))
+
+
+class TestExactSolver:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            relative_max_min_fair(ClosNetwork(2), FlowCollection())
+
+    def test_single_flow_floor_one(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(3, 1))])
+        result = relative_max_min_fair(clos, flows)
+        assert result.floor == 1
+
+    def test_example_2_3_floor_beats_lex(self):
+        """On Figure 1's instance relative-max-min achieves floor 3/4,
+        strictly better than lex-max-min's 2/3 — the objectives differ."""
+        instance = example_2_3()
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        result = relative_max_min_fair(
+            instance.clos, instance.flows, macro_allocation=macro
+        )
+        assert result.floor == Fraction(3, 4)
+        lex = lex_max_min_fair(instance.clos, instance.flows)
+        lex_floor = ratio_vector(lex.allocation, macro)[0]
+        assert lex_floor == Fraction(2, 3)
+        assert result.floor > lex_floor
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_dominates_every_routing(self, seed):
+        """Definition check: the optimum's ratio vector lex-dominates all."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 4, seed=seed)
+        macro = macro_switch_max_min(MacroSwitch(2), flows)
+        optimum = relative_max_min_fair(clos, flows, macro_allocation=macro)
+        capacities = clos.graph.capacities()
+        for assignment in all_middle_assignments(flows, clos.n):
+            routing = Routing.from_middles(clos, flows, assignment)
+            alloc = max_min_fair(routing, capacities)
+            ratios = ratio_vector(alloc, macro)
+            assert lex_compare(optimum.ratio_vector, ratios) >= 0
+
+    def test_symmetry_reduction_lossless(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=9)
+        with_sym = relative_max_min_fair(clos, flows, use_symmetry=True)
+        without = relative_max_min_fair(clos, flows, use_symmetry=False)
+        assert with_sym.ratio_vector == without.ratio_vector
+        assert with_sym.examined < without.examined
+
+    def test_floor_never_exceeds_one_sided_bound(self):
+        """The floor is at most 1: no routing can give every flow more
+        than its macro-switch rate (macro lex-dominates all)."""
+        clos = ClosNetwork(2)
+        for seed in range(3):
+            flows = random_flows(clos, 5, seed=seed)
+            result = relative_max_min_fair(clos, flows)
+            assert result.floor <= 1
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 6, seed=1)
+        macro = macro_switch_max_min(MacroSwitch(2), flows)
+        start = Routing.uniform(clos, flows, 1)
+        start_floor = floor_of_routing(clos, start, macro)
+        improved = improve_routing_relative(clos, start, macro)
+        assert improved.floor >= start_floor
+
+    def test_bounded_by_exact_optimum(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 5, seed=2)
+        macro = macro_switch_max_min(MacroSwitch(2), flows)
+        exact = relative_max_min_fair(clos, flows, macro_allocation=macro)
+        local = improve_routing_relative(
+            clos, Routing.uniform(clos, flows, 1), macro
+        )
+        assert lex_compare(exact.ratio_vector, local.ratio_vector) >= 0
+
+    def test_max_rounds_zero_is_identity(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 4, seed=3)
+        macro = macro_switch_max_min(MacroSwitch(2), flows)
+        start = Routing.uniform(clos, flows, 1)
+        result = improve_routing_relative(clos, start, macro, max_rounds=0)
+        assert result.routing.middles(clos) == start.middles(clos)
+
+    def test_theorem_4_3_floor_escapes_one_over_n(self):
+        """The E9 headline: relative-max-min re-balancing lifts the floor
+        of the Theorem 4.3 instance from 1/3 to 3/4 — starvation is a
+        property of the lex objective, not (only) of the topology."""
+        instance = theorem_4_3(3)
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        lex_routing = lemma_4_6_routing(instance)
+        assert floor_of_routing(instance.clos, lex_routing, macro) == Fraction(1, 3)
+        improved = improve_routing_relative(
+            instance.clos, lex_routing, macro, max_rounds=50
+        )
+        assert improved.floor == Fraction(3, 4)
+
+
+class TestFloorConjecture:
+    """Empirical finding of this reproduction (the §7 open question).
+
+    On the Theorem 4.3 construction, relative-max-min local search
+    achieves floor n/(n+1) — attained simultaneously by the type-3 flow
+    and the type-2 flows it trades against — by breaking Claim 4.5's
+    rigid structure: one type-1 group splits across middles and the
+    type-2.b flows spread unevenly (n, n−1, …, 1 per middle), leaving
+    the type-3 flow's exit link lightly loaded.  Since n/(n+1) → 1, the
+    macro abstraction is *asymptotically achievable in the relative
+    sense* on the very family that starves lex-max-min to 1/n.
+    """
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_floor_is_n_over_n_plus_one(self, n):
+        from repro.core.objectives import macro_switch_max_min as msm
+        from repro.workloads.adversarial import (
+            lemma_4_6_routing as l46,
+            theorem_4_3 as t43,
+        )
+
+        instance = t43(n)
+        macro = msm(instance.macro, instance.flows)
+        result = improve_routing_relative(
+            instance.clos, l46(instance), macro, max_rounds=60
+        )
+        assert result.floor == Fraction(n, n + 1)
+
+    def test_floor_attained_by_type3_and_sacrificed_type2(self):
+        from repro.core.objectives import macro_switch_max_min as msm
+        from repro.workloads.adversarial import (
+            lemma_4_6_routing as l46,
+            theorem_4_3 as t43,
+        )
+
+        instance = t43(3)
+        macro = msm(instance.macro, instance.flows)
+        result = improve_routing_relative(
+            instance.clos, l46(instance), macro, max_rounds=60
+        )
+        (type3,) = instance.types["type3"]
+        assert result.allocation.rate(type3) / macro.rate(type3) == Fraction(3, 4)
+        type2_ratios = {
+            result.allocation.rate(f) / macro.rate(f)
+            for f in instance.types["type2"]
+        }
+        assert Fraction(3, 4) in type2_ratios  # the trade's other side
+        # type-1 flows keep their macro rates fully
+        for f in instance.types["type1"]:
+            assert result.allocation.rate(f) == macro.rate(f)

@@ -1,0 +1,136 @@
+"""Unit tests for routings and middle-switch assignments."""
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.nodes import MiddleSwitch
+from repro.core.routing import Routing, all_middle_assignments
+from repro.core.topology import ClosNetwork, MacroSwitch
+
+from tests.helpers import random_flows
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(2)
+
+
+@pytest.fixture
+def two_flows(clos):
+    return FlowCollection(
+        [
+            Flow(clos.source(1, 1), clos.destination(3, 1)),
+            Flow(clos.source(1, 2), clos.destination(3, 2)),
+        ]
+    )
+
+
+class TestConstructors:
+    def test_from_middles(self, clos, two_flows):
+        f1, f2 = list(two_flows)
+        routing = Routing.from_middles(clos, two_flows, {f1: 1, f2: 2})
+        assert routing.middle_of(clos, f1) == MiddleSwitch(1)
+        assert routing.middle_of(clos, f2) == MiddleSwitch(2)
+
+    def test_from_middles_missing_flow_raises(self, clos, two_flows):
+        f1, _ = list(two_flows)
+        with pytest.raises(ValueError, match="no middle switch"):
+            Routing.from_middles(clos, two_flows, {f1: 1})
+
+    def test_uniform(self, clos, two_flows):
+        routing = Routing.uniform(clos, two_flows, 2)
+        for f in two_flows:
+            assert routing.middle_of(clos, f) == MiddleSwitch(2)
+
+    def test_macro_switch_routing(self, two_flows):
+        ms = MacroSwitch(2)
+        routing = Routing.for_macro_switch(ms, two_flows)
+        for f in two_flows:
+            assert routing.path(f)[0] == f.source
+            assert routing.path(f)[-1] == f.dest
+            assert len(routing.path(f)) == 4
+
+    def test_len_and_contains(self, clos, two_flows):
+        routing = Routing.uniform(clos, two_flows, 1)
+        assert len(routing) == 2
+        assert two_flows[0] in routing
+        outsider = Flow(clos.source(2, 1), clos.destination(2, 1))
+        assert outsider not in routing
+
+
+class TestQueries:
+    def test_middles_roundtrip(self, clos, two_flows):
+        f1, f2 = list(two_flows)
+        middles = {f1: 2, f2: 1}
+        routing = Routing.from_middles(clos, two_flows, middles)
+        assert routing.middles(clos) == middles
+
+    def test_links_of(self, clos, two_flows):
+        f1, _ = list(two_flows)
+        routing = Routing.uniform(clos, two_flows, 1)
+        links = routing.links_of(f1)
+        assert len(links) == 4
+        assert links[0] == (f1.source, clos.input_switches[0])
+
+    def test_flows_per_link_shared_source_link(self, clos):
+        # two parallel flows share every link of their common path
+        flows = FlowCollection()
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=2)
+        routing = Routing.uniform(clos, flows, 1)
+        loads = routing.flows_per_link()
+        for link, members in loads.items():
+            assert len(members) == 2
+
+    def test_validate_passes_for_consistent_routing(self, clos, two_flows):
+        routing = Routing.uniform(clos, two_flows, 1)
+        routing.validate(clos.graph)  # should not raise
+
+    def test_validate_rejects_foreign_path(self, clos, two_flows):
+        f1, f2 = list(two_flows)
+        bad_paths = {
+            f1: clos.path_via(f1.source, f1.dest, 1),
+            # path belongs to f1's endpoints, not f2's
+            f2: clos.path_via(f1.source, f1.dest, 1),
+        }
+        routing = Routing(bad_paths)
+        with pytest.raises(ValueError, match="endpoints"):
+            routing.validate(clos.graph)
+
+
+class TestReassigned:
+    def test_moves_single_flow(self, clos, two_flows):
+        f1, f2 = list(two_flows)
+        routing = Routing.uniform(clos, two_flows, 1)
+        moved = routing.reassigned(clos, f1, 2)
+        assert moved.middle_of(clos, f1) == MiddleSwitch(2)
+        assert moved.middle_of(clos, f2) == MiddleSwitch(1)
+
+    def test_original_untouched(self, clos, two_flows):
+        f1, _ = list(two_flows)
+        routing = Routing.uniform(clos, two_flows, 1)
+        routing.reassigned(clos, f1, 2)
+        assert routing.middle_of(clos, f1) == MiddleSwitch(1)
+
+    def test_unknown_flow_raises(self, clos, two_flows):
+        routing = Routing.uniform(clos, two_flows, 1)
+        outsider = Flow(clos.source(2, 1), clos.destination(2, 1))
+        with pytest.raises(KeyError):
+            routing.reassigned(clos, outsider, 1)
+
+
+class TestAllMiddleAssignments:
+    def test_counts(self, clos, two_flows):
+        assignments = list(all_middle_assignments(two_flows, clos.n))
+        assert len(assignments) == clos.n ** len(two_flows)
+
+    def test_all_distinct(self, clos, two_flows):
+        assignments = list(all_middle_assignments(two_flows, clos.n))
+        as_tuples = {tuple(sorted((repr(f), m) for f, m in a.items())) for a in assignments}
+        assert len(as_tuples) == len(assignments)
+
+    def test_empty_collection(self):
+        assert list(all_middle_assignments(FlowCollection(), 3)) == [{}]
+
+    def test_random_instance_counts(self, clos):
+        flows = random_flows(clos, 3, seed=7)
+        assert len(list(all_middle_assignments(flows, 2))) == 8

@@ -1,0 +1,116 @@
+"""Unit tests for the simulation substrate: event queue and workloads."""
+
+import pytest
+
+from repro.core.topology import ClosNetwork
+from repro.sim.events import EventQueue
+from repro.sim.jobs import FlowJob, incast_burst, poisson_workload
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(3.0, "c", None)
+        q.push(1.0, "a", None)
+        q.push(2.0, "b", None)
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_stable_for_ties(self):
+        q = EventQueue()
+        q.push(1.0, "first", None)
+        q.push(1.0, "second", None)
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, "a", "payload")
+        assert q.peek().kind == "a"
+        assert len(q) == 1
+
+    def test_empty_peek(self):
+        assert EventQueue().peek() is None
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, "a", None)
+        assert q
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "a", None)
+
+    def test_payload_passthrough(self):
+        q = EventQueue()
+        sentinel = object()
+        q.push(1.0, "a", sentinel)
+        assert q.pop().payload is sentinel
+
+
+class TestPoissonWorkload:
+    @pytest.fixture
+    def clos(self):
+        return ClosNetwork(2)
+
+    def test_arrivals_sorted_and_within_horizon(self, clos):
+        jobs = poisson_workload(clos, rate=3.0, horizon=20.0, seed=0)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a <= 20.0 for a in arrivals)
+
+    def test_deterministic(self, clos):
+        a = poisson_workload(clos, rate=2.0, horizon=10.0, seed=5)
+        b = poisson_workload(clos, rate=2.0, horizon=10.0, seed=5)
+        assert a == b
+
+    def test_mean_arrival_rate_approximate(self, clos):
+        jobs = poisson_workload(clos, rate=5.0, horizon=200.0, seed=1)
+        assert 4.0 < len(jobs) / 200.0 < 6.0
+
+    def test_job_ids_sequential(self, clos):
+        jobs = poisson_workload(clos, rate=2.0, horizon=10.0, seed=2)
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+
+    def test_exponential_sizes_positive_with_right_mean(self, clos):
+        jobs = poisson_workload(
+            clos, rate=10.0, horizon=100.0, mean_size=2.0, seed=3
+        )
+        sizes = [j.size for j in jobs]
+        assert all(s > 0 for s in sizes)
+        assert 1.5 < sum(sizes) / len(sizes) < 2.5
+
+    def test_fixed_sizes(self, clos):
+        jobs = poisson_workload(
+            clos, rate=2.0, horizon=20.0, mean_size=3.0,
+            size_distribution="fixed", seed=0,
+        )
+        assert all(j.size == 3.0 for j in jobs)
+
+    def test_bimodal_preserves_mean(self, clos):
+        jobs = poisson_workload(
+            clos, rate=20.0, horizon=200.0, mean_size=1.0,
+            size_distribution="bimodal", seed=0,
+        )
+        sizes = [j.size for j in jobs]
+        assert {round(s, 3) for s in sizes} <= {0.1, 9.1}
+        assert 0.8 < sum(sizes) / len(sizes) < 1.2
+
+    def test_invalid_parameters(self, clos):
+        with pytest.raises(ValueError):
+            poisson_workload(clos, rate=0, horizon=10)
+        with pytest.raises(ValueError):
+            poisson_workload(clos, rate=1, horizon=10, mean_size=0)
+        with pytest.raises(ValueError):
+            poisson_workload(clos, rate=1, horizon=10, size_distribution="zipf")
+
+
+class TestIncastBurst:
+    def test_shape(self):
+        clos = ClosNetwork(2)
+        jobs = incast_burst(clos, fan_in=5, size=2.0, arrival=1.0, seed=0)
+        assert len(jobs) == 5
+        assert len({j.dest for j in jobs}) == 1
+        assert len({j.source for j in jobs}) == 5
+        assert all(j.size == 2.0 and j.arrival == 1.0 for j in jobs)

@@ -1,0 +1,77 @@
+"""Tests for splittable max-min fairness (§1's equivalence premise)."""
+
+import pytest
+
+from repro.core.flows import Flow, FlowCollection
+from repro.core.objectives import macro_switch_max_min
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.lp.splittable_maxmin import splittable_max_min_fair
+
+from tests.helpers import random_flows
+
+
+class TestBasics:
+    def test_empty(self):
+        clos = ClosNetwork(2)
+        assert len(splittable_max_min_fair(clos, FlowCollection())) == 0
+
+    def test_single_flow_full_rate(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(3, 1))])
+        alloc = splittable_max_min_fair(clos, flows)
+        assert alloc.rate(flows[0]) == pytest.approx(1.0)
+
+    def test_shared_source_splits_evenly(self):
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        pair = flows.add_pair(clos.source(1, 1), clos.destination(3, 1), count=3)
+        alloc = splittable_max_min_fair(clos, flows)
+        for f in pair:
+            assert alloc.rate(f) == pytest.approx(1 / 3)
+
+
+class TestMacroEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_instances(self, seed):
+        """§1's premise: splittable C_n == MS_n, exactly."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 9, seed=seed)
+        macro = macro_switch_max_min(MacroSwitch(2), flows)
+        split = splittable_max_min_fair(clos, flows)
+        for f in flows:
+            assert split.rate(f) == pytest.approx(float(macro.rate(f)), abs=1e-6)
+
+    def test_interior_heavy_instance(self):
+        """Flows forced through the same switch pair still reach macro
+        rates when splittable (the unsplittable 1/2 collision vanishes)."""
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        f1 = flows.add(Flow(clos.source(1, 1), clos.destination(3, 1)))
+        f2 = flows.add(Flow(clos.source(1, 2), clos.destination(3, 2)))
+        split = splittable_max_min_fair(clos, flows)
+        assert split.rate(f1) == pytest.approx(1.0)
+        assert split.rate(f2) == pytest.approx(1.0)
+
+    def test_theorem_4_3_type3_recovers(self):
+        from repro.workloads.adversarial import theorem_4_3
+
+        instance = theorem_4_3(3)
+        split = splittable_max_min_fair(instance.clos, instance.flows)
+        (type3,) = instance.types["type3"]
+        assert split.rate(type3) == pytest.approx(1.0, abs=1e-6)
+        # the other types keep their macro rates too
+        macro = macro_switch_max_min(instance.macro, instance.flows)
+        for f in instance.flows:
+            assert split.rate(f) == pytest.approx(float(macro.rate(f)), abs=1e-6)
+
+    def test_oversubscribed_fabric_breaks_equivalence(self):
+        """With a thinned interior even splittable flows fall below
+        macro rates — the equivalence needs full bisection (E15 x E16)."""
+        from fractions import Fraction
+
+        clos = ClosNetwork(2, interior_capacity=Fraction(1, 4))
+        flows = FlowCollection()
+        f1 = flows.add(Flow(clos.source(1, 1), clos.destination(3, 1)))
+        split = splittable_max_min_fair(clos, flows)
+        # 2 middle paths x 1/4 capacity = 1/2 total
+        assert split.rate(f1) == pytest.approx(0.5)

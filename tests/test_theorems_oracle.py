@@ -1,0 +1,133 @@
+"""Tests for the closed-form theorem oracle (`repro.core.theorems`)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import theorems
+
+
+class TestTheorem34:
+    def test_k1_values(self):
+        p = theorems.theorem_3_4(1)
+        assert p.max_throughput == 2
+        assert p.max_min_throughput == Fraction(3, 2)
+        assert p.ratio == Fraction(3, 4)
+        assert p.per_flow_rate == Fraction(1, 2)
+
+    def test_ratio_tends_to_half(self):
+        ratios = [theorems.theorem_3_4(k).ratio for k in (1, 10, 100, 1000)]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] - Fraction(1, 2) < Fraction(1, 1000)
+
+    def test_ratio_always_above_half(self):
+        for k in range(1, 50):
+            assert theorems.theorem_3_4(k).ratio > Fraction(1, 2)
+
+    def test_epsilon_formula(self):
+        for k in (1, 5, 9):
+            p = theorems.theorem_3_4(k)
+            assert p.max_min_throughput == Fraction(1, 2) * (1 + p.epsilon) * (
+                p.max_throughput
+            )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            theorems.theorem_3_4(0)
+
+
+class TestTheorem43:
+    def test_n3_rates(self):
+        p = theorems.theorem_4_3(3)
+        assert p.macro_rates == {
+            "type1": Fraction(1, 4),
+            "type2": Fraction(1, 3),
+            "type3": Fraction(1),
+        }
+        assert p.lex_max_min_rates["type3"] == Fraction(1, 3)
+        assert p.starvation_factor == Fraction(1, 3)
+
+    def test_starvation_is_one_over_n(self):
+        for n in range(3, 12):
+            assert theorems.theorem_4_3(n).starvation_factor == Fraction(1, n)
+
+    def test_only_type3_differs(self):
+        p = theorems.theorem_4_3(5)
+        assert p.macro_rates["type1"] == p.lex_max_min_rates["type1"]
+        assert p.macro_rates["type2"] == p.lex_max_min_rates["type2"]
+        assert p.macro_rates["type3"] != p.lex_max_min_rates["type3"]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            theorems.theorem_4_3(2)
+
+    def test_theorem_4_2_macro_rates(self):
+        rates = theorems.theorem_4_2_macro_rates(3)
+        assert rates == {
+            "type1": Fraction(1),
+            "type2": Fraction(1, 3),
+            "type3": Fraction(1),
+        }
+        with pytest.raises(ValueError):
+            theorems.theorem_4_2_macro_rates(2)
+
+
+class TestTheorem54:
+    def test_example_5_3_point(self):
+        p = theorems.theorem_5_4(7, 1)
+        assert p.macro_max_min_throughput == Fraction(9, 2)
+        assert p.doom_throughput == 5
+        assert p.type1_rate == Fraction(2, 3)
+        assert p.type2_rate == Fraction(1, 3)
+
+    def test_doom_throughput_formula_n_minus_2(self):
+        for n, k in ((5, 1), (7, 2), (9, 1), (11, 5)):
+            assert theorems.theorem_5_4(n, k).doom_throughput == n - 2
+
+    def test_gain_below_two_and_grows(self):
+        gains = [theorems.theorem_5_4(n, n).gain for n in (5, 9, 13, 21)]
+        assert all(g < 2 for g in gains)
+        assert gains == sorted(gains)
+
+    def test_epsilon_limit(self):
+        assert theorems.theorem_5_4_epsilon_limit(7) == Fraction(1, 6)
+        # epsilon decreases toward the limit as k grows
+        eps = [theorems.theorem_5_4(7, k).epsilon for k in (1, 10, 100)]
+        assert eps == sorted(eps, reverse=True)
+        assert eps[-1] > theorems.theorem_5_4_epsilon_limit(7)
+
+    def test_epsilon_matches_paper_formula(self):
+        for n, k in ((7, 1), (9, 3), (11, 2)):
+            p = theorems.theorem_5_4(n, k)
+            assert p.epsilon == Fraction(k + n, (n - 1) * (k + 2))
+
+    def test_n3_degenerate_case(self):
+        """For n = 3 the doom allocation equals the macro one."""
+        p = theorems.theorem_5_4(3, 1)
+        assert p.doom_throughput == p.macro_max_min_throughput
+        assert p.type1_rate == p.macro_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            theorems.theorem_5_4(4, 1)  # even n
+        with pytest.raises(ValueError):
+            theorems.theorem_5_4(7, 0)
+        with pytest.raises(ValueError):
+            theorems.theorem_5_4_epsilon_limit(2)
+
+
+class TestExample23Vectors:
+    def test_vectors_have_six_components(self):
+        vectors = theorems.example_2_3_sorted_vectors()
+        assert all(len(v) == 6 for v in vectors.values())
+
+    def test_lexicographic_chain(self):
+        from repro.core.allocation import lex_compare
+
+        vectors = theorems.example_2_3_sorted_vectors()
+        assert lex_compare(vectors["macro_switch"], vectors["routing_a"]) > 0
+        assert lex_compare(vectors["routing_a"], vectors["routing_b"]) > 0
+
+    def test_bounds_constants(self):
+        assert theorems.LOWER_BOUND_R1 == Fraction(1, 2)
+        assert theorems.UPPER_BOUND_R3 == 2

@@ -1,0 +1,133 @@
+"""Tests for maximum-throughput allocations (Lemmas 3.2 and 5.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.coloring.konig import ColoringError
+from repro.core.allocation import is_feasible
+from repro.core.flows import Flow, FlowCollection
+from repro.core.throughput import (
+    link_disjoint_routing,
+    max_throughput_allocation,
+    max_throughput_value,
+    maximum_throughput_matching,
+    throughput_max_throughput,
+)
+from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.lp.maxthroughput import max_throughput_lp_macro
+
+from tests.helpers import random_flows
+
+
+class TestLemma32:
+    def test_single_flow(self):
+        ms = MacroSwitch(1)
+        flows = FlowCollection([Flow(ms.source(1, 1), ms.destination(1, 1))])
+        assert max_throughput_value(flows) == 1
+        alloc = max_throughput_allocation(flows)
+        assert alloc.throughput() == 1
+
+    def test_parallel_flows_admit_one(self):
+        ms = MacroSwitch(1)
+        flows = FlowCollection()
+        flows.add_pair(ms.source(1, 1), ms.destination(1, 1), count=5)
+        assert max_throughput_value(flows) == 1
+
+    def test_example_3_3(self):
+        """Figure 2: type-1 flows admitted, type-2 flow rejected."""
+        from repro.workloads.adversarial import theorem_3_4
+
+        instance = theorem_3_4(1, 1)
+        alloc = max_throughput_allocation(instance.flows)
+        assert alloc.throughput() == 2
+        type2 = instance.types["type2"][0]
+        assert alloc.rate(type2) == 0
+        for f in instance.types["type1"]:
+            assert alloc.rate(f) == 1
+
+    def test_rates_are_zero_one(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 12, seed=3)
+        alloc = max_throughput_allocation(flows)
+        assert set(alloc.rates().values()) <= {Fraction(0), Fraction(1)}
+
+    def test_matching_is_a_matching(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 12, seed=4)
+        matched = maximum_throughput_matching(flows)
+        sources = [f.source for f in matched]
+        dests = [f.dest for f in matched]
+        assert len(set(sources)) == len(sources)
+        assert len(set(dests)) == len(dests)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_lp_relaxation(self, seed):
+        """Bipartite matching LP integrality: combinatorial == LP optimum."""
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 14, seed=seed)
+        combinatorial = max_throughput_value(flows)
+        lp = max_throughput_lp_macro(flows)
+        assert abs(lp - combinatorial) < 1e-7
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_throughput_at_least_max_min(self, seed):
+        """T^MT ≥ T^MmF by definition of maximum throughput."""
+        from repro.core.objectives import macro_switch_max_min
+
+        clos = ClosNetwork(2)
+        ms = MacroSwitch(2)
+        flows = random_flows(clos, 10, seed=seed)
+        t_mt = max_throughput_value(flows)
+        t_mmf = macro_switch_max_min(ms, flows).throughput()
+        assert t_mt >= t_mmf
+
+
+class TestLemma52:
+    def test_permutation_traffic_fully_routable(self):
+        """One flow per server pairing routes link-disjointly at rate 1."""
+        from repro.workloads.stochastic import permutation
+
+        clos = ClosNetwork(3)
+        flows = permutation(clos, seed=0)
+        routing, alloc = throughput_max_throughput(clos, flows)
+        assert alloc.throughput() == len(flows)  # perfect matching
+        assert is_feasible(routing, alloc, clos.graph.capacities())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_t_mt_equals_t_tmt(self, seed):
+        clos = ClosNetwork(3)
+        flows = random_flows(clos, 25, seed=seed)
+        routing, alloc = throughput_max_throughput(clos, flows)
+        assert alloc.throughput() == max_throughput_value(flows)
+        assert is_feasible(routing, alloc, clos.graph.capacities())
+
+    def test_matched_flows_rate_one_others_zero(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 10, seed=1)
+        matched = maximum_throughput_matching(flows)
+        _, alloc = throughput_max_throughput(clos, flows)
+        for f in flows:
+            assert alloc.rate(f) == (1 if f in matched else 0)
+
+    def test_link_disjoint_routing_is_link_disjoint(self):
+        clos = ClosNetwork(2)
+        flows = random_flows(clos, 10, seed=2)
+        matched_map = maximum_throughput_matching(flows)
+        matched = FlowCollection(f for f in flows if f in matched_map)
+        routing = link_disjoint_routing(clos, matched)
+        for link, members in routing.flows_per_link().items():
+            # interior links carry at most one matched flow; server links
+            # also at most one (it's a matching on servers)
+            assert len(members) == 1
+
+    def test_overloaded_demand_graph_rejected(self):
+        """G^C degree above n cannot be colored with n colors."""
+        clos = ClosNetwork(2)
+        flows = FlowCollection()
+        # 3 flows out of input switch 1's servers exceed n = 2 colors
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 1))
+        flows.add_pair(clos.source(1, 1), clos.destination(3, 2))
+        flows.add_pair(clos.source(1, 2), clos.destination(4, 1))
+        with pytest.raises(ColoringError):
+            link_disjoint_routing(clos, flows)

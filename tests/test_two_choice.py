@@ -1,0 +1,74 @@
+"""Tests for the power-of-two-choices router."""
+
+import pytest
+
+from repro.core.topology import ClosNetwork
+from repro.routers.ecmp import random_routing
+from repro.routers.greedy import macro_switch_demands
+from repro.routers.two_choice import two_choice_routing
+from repro.routers.congestion_local_search import max_congestion
+from repro.workloads.stochastic import uniform_random
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(4)
+
+
+class TestBasics:
+    def test_routes_every_flow(self, clos):
+        flows = uniform_random(clos, 30, seed=0)
+        routing = two_choice_routing(clos, flows)
+        assert len(routing) == 30
+        routing.validate(clos.graph)
+
+    def test_deterministic_given_seed(self, clos):
+        flows = uniform_random(clos, 20, seed=0)
+        a = two_choice_routing(clos, flows, seed=5).middles(clos)
+        b = two_choice_routing(clos, flows, seed=5).middles(clos)
+        assert a == b
+
+    def test_invalid_choices(self, clos):
+        flows = uniform_random(clos, 5, seed=0)
+        with pytest.raises(ValueError):
+            two_choice_routing(clos, flows, choices=0)
+
+    def test_choices_capped_at_middles(self, clos):
+        flows = uniform_random(clos, 10, seed=0)
+        routing = two_choice_routing(clos, flows, choices=99)
+        routing.validate(clos.graph)
+
+
+class TestLoadBalancing:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_choices_beat_one_on_average(self, clos, seed):
+        """The power-of-two-choices effect: sampled placement beats blind."""
+        flows = uniform_random(clos, 60, seed=seed)
+        demands = macro_switch_demands(clos, flows)
+        one = two_choice_routing(clos, flows, demands=demands, choices=1, seed=seed)
+        two = two_choice_routing(clos, flows, demands=demands, choices=2, seed=seed)
+        assert max_congestion(clos, two, demands) <= max_congestion(
+            clos, one, demands
+        )
+
+    def test_more_choices_never_hurt_much(self, clos):
+        flows = uniform_random(clos, 60, seed=7)
+        demands = macro_switch_demands(clos, flows)
+        congestions = [
+            max_congestion(
+                clos,
+                two_choice_routing(
+                    clos, flows, demands=demands, choices=d, seed=7
+                ),
+                demands,
+            )
+            for d in (1, 2, 4)
+        ]
+        assert congestions[2] <= congestions[0]
+
+    def test_single_choice_is_random_like(self, clos):
+        """choices=1 spreads flows roughly uniformly (it samples blindly)."""
+        flows = uniform_random(clos, 100, seed=3)
+        routing = two_choice_routing(clos, flows, choices=1, seed=3)
+        used = set(routing.middles(clos).values())
+        assert len(used) == clos.num_middles
