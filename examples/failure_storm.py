@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A correlated failure storm through the flow-level simulator.
+
+Real fabrics rarely lose links one at a time: a middle switch reboots
+and takes its whole interior trunk with it, then comes back.  This
+script builds that storm as a :class:`repro.failures.FailureSchedule` —
+one middle switch of a C_3 crashing and recovering, plus a lingering
+brownout on a second switch — and replays it through the simulator
+under two policies:
+
+- max-min congestion control with pinned paths (flows routed across a
+  dead switch stall until it recovers),
+- Hedera-style periodic re-routing (the next epoch routes around the
+  failure via the resilient router).
+
+The comparison is the dynamic face of experiment E14's static sweep:
+re-routing degrades gracefully, pinning pays the full storm.
+
+Run:  python examples/failure_storm.py
+"""
+
+from fractions import Fraction
+
+from repro.analysis import format_table
+from repro.core.topology import ClosNetwork
+from repro.failures import FailureSchedule, correlated_groups
+from repro.sim import (
+    MaxMinCongestionControl,
+    ReroutingCongestionControl,
+    fct_stats,
+    poisson_workload,
+    simulate,
+)
+
+
+def storm(network: ClosNetwork) -> FailureSchedule:
+    """M1 crashes at t=2 and recovers at t=8; M2 browns out to half
+    capacity at t=4 for the rest of the run."""
+    crash = FailureSchedule.switch_crash(network, 1, at=2.0, recover_at=8.0)
+    brownout = FailureSchedule.switch_crash(
+        network, 2, at=4.0, severity=Fraction(1, 2)
+    )
+    return crash.merged(brownout)
+
+
+def main() -> None:
+    network = ClosNetwork(3)
+    schedule = storm(network)
+    jobs = poisson_workload(
+        network, rate=2.0, horizon=12.0, mean_size=1.0, seed=7
+    )
+
+    groups = correlated_groups(network)
+    print(
+        f"C_3: {len(groups)} shared-risk groups "
+        f"({network.num_middles} middle switches + ToR trunk bundles)"
+    )
+    print(f"storm: {len(schedule)} failure events over "
+          f"[0, {schedule.horizon()}]; {len(jobs)} jobs offered\n")
+
+    rows = []
+    for name, policy in [
+        ("pinned max-min", MaxMinCongestionControl(network)),
+        ("periodic re-route", ReroutingCongestionControl(network, interval=1.0)),
+    ]:
+        result = simulate(
+            jobs, policy, max_time=60.0, failure_schedule=schedule
+        )
+        stats = fct_stats(result)
+        rows.append(
+            [
+                name,
+                f"{len(result.completed)}/{len(jobs)}",
+                f"{stats.mean_fct:.2f}",
+                f"{stats.p99_fct:.2f}",
+                f"{result.end_time:.2f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["policy", "completed", "mean FCT", "p99 FCT", "drained at"],
+            rows,
+            title="one storm, two congestion controls",
+        )
+    )
+    print(
+        "\nPinned flows crossing M1 stall for the whole outage window and"
+        "\nqueue behind the brownout; re-routing shifts them to surviving"
+        "\nmiddle switches at the next epoch.  The paper's §6 routers and"
+        "\n§7 conclusions carry over to degraded fabrics unchanged: the"
+        "\nrouting decision, not the congestion control, sets the damage."
+    )
+
+
+if __name__ == "__main__":
+    main()

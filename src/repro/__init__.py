@@ -18,6 +18,17 @@ Quickstart::
     print(alloc.sorted_vector())
 """
 
+from repro.errors import (
+    CapacityValidationError,
+    DisconnectedFlowError,
+    ExperimentError,
+    InfeasibleRoutingError,
+    ReproError,
+    StepFailedError,
+    StepTimeoutError,
+    UnknownFlowError,
+    UnknownLinkError,
+)
 from repro.core import (
     Allocation,
     ClosNetwork,
@@ -50,19 +61,28 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Allocation",
+    "CapacityValidationError",
     "ClosNetwork",
     "Destination",
+    "DisconnectedFlowError",
     "DoomSwitchResult",
+    "ExperimentError",
     "Flow",
     "FlowCollection",
+    "InfeasibleRoutingError",
     "InputSwitch",
     "MacroSwitch",
     "MiddleSwitch",
     "OptimalAllocation",
     "OutputSwitch",
+    "ReproError",
     "Routing",
     "Source",
+    "StepFailedError",
+    "StepTimeoutError",
     "UnboundedRateError",
+    "UnknownFlowError",
+    "UnknownLinkError",
     "__version__",
     "doom_switch",
     "is_feasible",

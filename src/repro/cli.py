@@ -3,12 +3,20 @@
 Usage::
 
     python -m repro list                 # show available experiments
-    python -m repro run e1               # Figure 1 / Example 2.3 (e1..e14)
+    python -m repro run e1               # Figure 1 / Example 2.3 (e1..e16)
     python -m repro run e2 --ks 1,2,4,8  # R1 sweep with custom k values
     python -m repro run all              # everything (minutes)
 
 Each experiment prints the same measured-vs-paper table its benchmark
 target prints, so the CLI is the interactive face of the harness.
+
+``run`` is resilient (see :mod:`repro.runner`): ``run all`` continues
+past failing experiments, prints a pass/fail summary table, and exits
+non-zero if anything failed.  ``--timeout`` bounds each experiment's
+wall clock, ``--retries``/``--backoff`` retry transient failures with
+the same seeds, ``--manifest sweep.json`` checkpoints progress after
+every experiment, and ``--resume sweep.json`` finishes a killed sweep
+without recomputing (or re-printing differently) what already ran.
 """
 
 from __future__ import annotations
@@ -407,10 +415,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="e1..e10 or 'all'")
+    run.add_argument("experiment", help="e1..e16 or 'all'")
     run.add_argument("--ks", help="comma-separated k values (e2)")
     run.add_argument("--sizes", help="comma-separated network sizes (e3/e4)")
     run.add_argument("--n", type=int, help="network size (e6)")
+    run.add_argument(
+        "--timeout",
+        type=float,
+        help="per-experiment wall-clock limit in seconds",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failing experiment this many times (same seeds)",
+    )
+    run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        help="base seconds between retries (doubles per attempt)",
+    )
+    run.add_argument(
+        "--manifest",
+        help="checkpoint run state to this JSON file after every step",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="MANIFEST",
+        help="resume a checkpointed run; finished steps replay verbatim",
+    )
+    keep = run.add_mutually_exclusive_group()
+    keep.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        default=True,
+        help="continue past failing experiments (default)",
+    )
+    keep.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="stop at the first failing experiment",
+    )
     return parser
 
 
@@ -437,20 +485,82 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        name = args.experiment.lower()
-        if name == "all":
-            for key, runner in EXPERIMENTS.items():
-                runner(args)
-                print()
-            return 0
-        if name not in EXPERIMENTS:
-            print(f"unknown experiment: {name!r} (try 'list')", file=sys.stderr)
-            return 2
-        EXPERIMENTS[name](args)
-        return 0
+        return _run_command(args)
 
     parser.print_help()
     return 2
+
+
+def _wants_runner(args: argparse.Namespace) -> bool:
+    """Did the user ask for any resilience feature on a single run?"""
+    return bool(
+        args.timeout or args.retries or args.manifest or args.resume
+    )
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    """The ``run`` subcommand: direct for one experiment, resilient
+    (keep-going, summary table, checkpoint/resume) for sweeps."""
+    import functools
+    import os
+
+    name = args.experiment.lower()
+    if name != "all" and name not in EXPERIMENTS:
+        print(f"unknown experiment: {name!r} (try 'list')", file=sys.stderr)
+        return 2
+    names = list(EXPERIMENTS) if name == "all" else [name]
+
+    if name != "all" and not _wants_runner(args):
+        EXPERIMENTS[name](args)
+        return 0
+
+    from repro.errors import ExperimentError
+    from repro.runner import ResilientRunner, RunManifest
+
+    manifest = None
+    manifest_path = args.resume or args.manifest
+    if args.resume and os.path.exists(args.resume):
+        try:
+            manifest = RunManifest.load(args.resume)
+        except ExperimentError as error:
+            print(f"cannot resume: {error}", file=sys.stderr)
+            return 2
+        names = manifest.experiments or names
+    elif manifest_path:
+        manifest = RunManifest(
+            manifest_path,
+            experiments=names,
+            params={
+                "ks": args.ks,
+                "sizes": args.sizes,
+                "n": args.n,
+                "timeout": args.timeout,
+                "retries": args.retries,
+            },
+        )
+
+    def step(key: str) -> None:
+        EXPERIMENTS[key](args)
+        if name == "all":
+            print()  # the separator a plain sweep always printed
+
+    runner = ResilientRunner(
+        manifest=manifest,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        keep_going=args.keep_going,
+    )
+    runner.run({key: functools.partial(step, key) for key in names})
+
+    if name == "all":
+        print(runner.summary_table())
+    for record in runner.failed_steps():
+        print(
+            f"{record.name}: {record.status} — {record.error}",
+            file=sys.stderr,
+        )
+    return runner.exit_code()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -27,7 +27,7 @@ from typing import Dict, List, Mapping, Set
 
 from repro.core.allocation import Allocation, Rate
 from repro.core.flows import Flow
-from repro.core.maxmin import UnboundedRateError
+from repro.core.maxmin import UnboundedRateError, validate_capacities
 from repro.core.routing import Link, Routing
 
 _INF = float("inf")
@@ -46,6 +46,7 @@ def max_min_fair_fast(
         return Allocation({})
 
     link_flows: Dict[Link, List[Flow]] = routing.flows_per_link()
+    validate_capacities(link_flows, capacities)
     residual: Dict[Link, float] = {}
     count: Dict[Link, int] = {}
     for link, members in link_flows.items():

@@ -31,15 +31,53 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Mapping, Set, Tuple, Union
 
+from repro.errors import (
+    CapacityValidationError,
+    UnboundedRateError,
+    UnknownLinkError,
+)
 from repro.core.allocation import Allocation, Rate
 from repro.core.flows import Flow
 from repro.core.routing import Link, Routing
 
 _INF = float("inf")
 
+__all__ = [
+    "UnboundedRateError",
+    "max_min_fair",
+    "max_min_fair_for_network",
+    "validate_capacities",
+]
 
-class UnboundedRateError(ValueError):
-    """Raised when some flow crosses only infinite-capacity links."""
+
+def validate_capacities(
+    link_flows: Mapping[Link, List[Flow]],
+    capacities: Mapping[Link, Rate],
+) -> None:
+    """Reject capacity maps the water-filling algorithms cannot consume.
+
+    Raises :class:`~repro.errors.UnknownLinkError` naming *every*
+    traversed link absent from ``capacities``, or
+    :class:`~repro.errors.CapacityValidationError` on negative or
+    non-numeric capacities — instead of a bare ``KeyError``/``TypeError``
+    deep inside the solver loop.
+    """
+    missing = [link for link in link_flows if link not in capacities]
+    if missing:
+        raise UnknownLinkError(missing)
+    bad: Dict[Link, Rate] = {}
+    for link in link_flows:
+        capacity = capacities[link]
+        try:
+            negative = capacity < 0
+        except TypeError:
+            negative = True
+        if negative:
+            bad[link] = capacity
+    if bad:
+        raise CapacityValidationError(
+            f"capacities must be non-negative numbers: {bad!r}"
+        )
 
 
 def max_min_fair(
@@ -69,6 +107,7 @@ def max_min_fair(
         return Allocation({})
 
     link_flows: Dict[Link, List[Flow]] = routing.flows_per_link()
+    validate_capacities(link_flows, capacities)
 
     def coerce(value: Rate) -> Rate:
         if value == _INF:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Tuple
 
+from repro.errors import InfeasibleRoutingError, UnknownFlowError
 from repro.core.flows import Flow, FlowCollection
 from repro.core.nodes import ClosNode, MiddleSwitch
 from repro.core.topology import ClosNetwork, MacroSwitch, Path
@@ -53,7 +54,9 @@ class Routing:
         """A Clos routing from a flow → middle-switch-index map (1-based)."""
         missing = [f for f in flows if f not in middles]
         if missing:
-            raise ValueError(f"no middle switch assigned for flows: {missing!r}")
+            raise InfeasibleRoutingError(
+                f"no middle switch assigned for flows: {missing!r}"
+            )
         return cls(
             {f: network.path_via(f.source, f.dest, middles[f]) for f in flows}
         )
@@ -68,7 +71,10 @@ class Routing:
     # ------------------------------------------------------------------
     def path(self, flow: Flow) -> Path:
         """The path assigned to ``flow``."""
-        return self._paths[flow]
+        try:
+            return self._paths[flow]
+        except KeyError:
+            raise UnknownFlowError(flow) from None
 
     def __contains__(self, flow: Flow) -> bool:
         return flow in self._paths
@@ -98,7 +104,7 @@ class Routing:
     ) -> "Routing":
         """A copy of this routing with ``flow`` moved to middle switch ``M_m``."""
         if flow not in self._paths:
-            raise KeyError(flow)
+            raise UnknownFlowError(flow)
         paths = dict(self._paths)
         paths[flow] = network.path_via(flow.source, flow.dest, m)
         return Routing(paths)
@@ -116,19 +122,22 @@ class Routing:
 
     def links_of(self, flow: Flow) -> List[Link]:
         """The links along ``flow``'s assigned path."""
-        path = self._paths[flow]
+        path = self.path(flow)
         return list(zip(path, path[1:]))
 
     def validate(self, graph) -> None:
         """Check every assigned path exists in ``graph`` and joins its flow's
-        endpoints; raises ``ValueError`` on the first violation."""
+        endpoints; raises :class:`~repro.errors.InfeasibleRoutingError` on
+        the first violation."""
         for flow, path in self._paths.items():
             if path[0] != flow.source or path[-1] != flow.dest:
-                raise ValueError(
+                raise InfeasibleRoutingError(
                     f"path for {flow!r} does not join its endpoints: {path!r}"
                 )
             if not graph.is_path(path):
-                raise ValueError(f"path for {flow!r} is not in the graph: {path!r}")
+                raise InfeasibleRoutingError(
+                    f"path for {flow!r} is not in the graph: {path!r}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Routing({len(self._paths)} flows)"

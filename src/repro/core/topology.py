@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import CapacityValidationError, InfeasibleRoutingError
 from repro.core.nodes import (
     ClosNode,
     Destination,
@@ -83,7 +84,7 @@ class ClosNetwork:
                 f"middle_count must be a positive integer, got {middle_count!r}"
             )
         if interior_capacity <= 0 or server_capacity <= 0:
-            raise ValueError("link capacities must be positive")
+            raise CapacityValidationError("link capacities must be positive")
         self.n = n
         self.num_middles = middle_count
         self.interior_capacity = interior_capacity
@@ -146,22 +147,33 @@ class ClosNetwork:
     def middle(self, m: int) -> MiddleSwitch:
         """``M_m``."""
         if not 1 <= m <= self.num_middles:
-            raise ValueError(
+            raise InfeasibleRoutingError(
                 f"middle switch index {m} out of range [1, {self.num_middles}]"
             )
         return MiddleSwitch(m)
 
     def _check_server_indices(self, i: int, j: int) -> None:
         if not 1 <= i <= 2 * self.n:
-            raise ValueError(f"ToR index {i} out of range [1, {2 * self.n}]")
+            raise InfeasibleRoutingError(
+                f"ToR index {i} out of range [1, {2 * self.n}]"
+            )
         if not 1 <= j <= self.n:
-            raise ValueError(f"server index {j} out of range [1, {self.n}]")
+            raise InfeasibleRoutingError(
+                f"server index {j} out of range [1, {self.n}]"
+            )
 
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
     def path_via(self, source: Source, dest: Destination, m: int) -> Path:
-        """The unique ``source → dest`` path through middle switch ``M_m``."""
+        """The unique ``source → dest`` path through middle switch ``M_m``.
+
+        Endpoints outside this network raise
+        :class:`~repro.errors.InfeasibleRoutingError` rather than
+        producing a path over nonexistent links.
+        """
+        self._check_server_indices(source.switch, source.server)
+        self._check_server_indices(dest.switch, dest.server)
         return (
             source,
             InputSwitch(source.switch),
@@ -180,7 +192,9 @@ class ClosNetwork:
     def middle_of_path(self, path: Sequence[ClosNode]) -> MiddleSwitch:
         """The middle switch a path traverses (validates the path shape)."""
         if len(path) != 5 or not isinstance(path[2], MiddleSwitch):
-            raise ValueError(f"not a Clos source-destination path: {path!r}")
+            raise InfeasibleRoutingError(
+                f"not a Clos source-destination path: {path!r}"
+            )
         return path[2]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -239,12 +253,18 @@ class MacroSwitch:
 
     def _check_server_indices(self, i: int, j: int) -> None:
         if not 1 <= i <= 2 * self.n:
-            raise ValueError(f"ToR index {i} out of range [1, {2 * self.n}]")
+            raise InfeasibleRoutingError(
+                f"ToR index {i} out of range [1, {2 * self.n}]"
+            )
         if not 1 <= j <= self.n:
-            raise ValueError(f"server index {j} out of range [1, {self.n}]")
+            raise InfeasibleRoutingError(
+                f"server index {j} out of range [1, {self.n}]"
+            )
 
     def path(self, source: Source, dest: Destination) -> Path:
         """The unique ``source → dest`` path in the macro-switch."""
+        self._check_server_indices(source.switch, source.server)
+        self._check_server_indices(dest.switch, dest.server)
         return (
             source,
             InputSwitch(source.switch),

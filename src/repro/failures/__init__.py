@@ -1,0 +1,72 @@
+"""Failure injection and resilience: degraded fabrics, failure schedules,
+failure-aware routing.
+
+The package splits along the time axis:
+
+- :mod:`repro.failures.inject` — *static* degradation: zeroed links,
+  brownouts, random and correlated (shared-risk-group) failures, and
+  the surviving-network projection.
+- :mod:`repro.failures.schedule` — *time-varying* degradation:
+  :class:`FailureSchedule` traces of link flaps and switch crashes,
+  replayable through the flow simulator and serializable to JSON.
+- :mod:`repro.failures.resilient` — failure-aware router wrappers that
+  reroute around dead capacity with bounded retry and report which
+  flows were sacrificed.
+- :mod:`repro.failures.errors` — the typed exception hierarchy (also
+  available as :mod:`repro.errors`).
+
+``from repro.failures import fail_links`` and friends keep working as
+they did when this was a single module.
+"""
+
+from repro.failures.errors import (
+    CapacityValidationError,
+    DisconnectedFlowError,
+    InfeasibleRoutingError,
+    ReproError,
+    UnboundedRateError,
+    UnknownLinkError,
+)
+from repro.failures.inject import (
+    Capacities,
+    FailureGroup,
+    correlated_groups,
+    degrade_links,
+    fail_links,
+    fail_middle_switch,
+    failed_middles_of,
+    interior_links,
+    middle_switch_links,
+    random_group_failures,
+    random_link_failures,
+    surviving_network,
+    usable_middles,
+)
+from repro.failures.resilient import ResilientRouting, route_with_failures
+from repro.failures.schedule import FailureEvent, FailureSchedule
+
+__all__ = [
+    "Capacities",
+    "CapacityValidationError",
+    "DisconnectedFlowError",
+    "FailureEvent",
+    "FailureGroup",
+    "FailureSchedule",
+    "InfeasibleRoutingError",
+    "ReproError",
+    "ResilientRouting",
+    "UnboundedRateError",
+    "UnknownLinkError",
+    "correlated_groups",
+    "degrade_links",
+    "fail_links",
+    "fail_middle_switch",
+    "failed_middles_of",
+    "interior_links",
+    "middle_switch_links",
+    "random_group_failures",
+    "random_link_failures",
+    "route_with_failures",
+    "surviving_network",
+    "usable_middles",
+]

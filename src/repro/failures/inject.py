@@ -1,0 +1,253 @@
+"""Static failure injection: degraded Clos fabrics.
+
+The paper analyzes pristine fabrics; operators live with failed links
+and switches.  Because every solver in this library takes an explicit
+``capacities`` mapping, failures are just capacity overrides — these
+helpers produce them, and :mod:`repro.experiments.failure_degradation`
+measures how throughput and fairness degrade as the middle stage loses
+capacity (where the paper's interior-bottleneck phenomena say the pain
+concentrates).
+
+A failed link keeps its key with capacity 0 (flows routed across it
+water-fill to rate 0) — modeling the window between a failure and
+rerouting.  A *browned-out* link keeps a fraction of its capacity
+(:func:`degrade_links`) — modeling FEC retraining, lane failures, and
+oversubscribed failover paths.  Routers can instead avoid failed
+components by routing in a :func:`surviving_network`, and
+:mod:`repro.failures.resilient` automates that rerouting with bounded
+retry.  Time-varying failures live in :mod:`repro.failures.schedule`.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
+
+from repro.errors import CapacityValidationError, UnknownLinkError
+from repro.core.nodes import InputSwitch, MiddleSwitch, OutputSwitch
+from repro.core.routing import Link
+from repro.core.topology import ClosNetwork
+
+Capacities = Dict[Link, object]
+
+
+def _check_known(capacities: Mapping[Link, object], links: Iterable[Link]) -> List[Link]:
+    """The links as a list; raises one error naming *every* unknown link."""
+    links = list(links)
+    unknown = [link for link in links if link not in capacities]
+    if unknown:
+        raise UnknownLinkError(unknown)
+    return links
+
+
+def fail_links(capacities: Capacities, failed: Iterable[Link]) -> Capacities:
+    """A copy of ``capacities`` with the given links' capacity set to 0.
+
+    Unknown links raise a single :class:`~repro.errors.UnknownLinkError`
+    listing all of them (not just the first).
+    """
+    degraded = dict(capacities)
+    for link in _check_known(capacities, failed):
+        degraded[link] = 0
+    return degraded
+
+
+def degrade_links(
+    capacities: Capacities, factors: Mapping[Link, object]
+) -> Capacities:
+    """A copy of ``capacities`` with each link scaled by its factor.
+
+    ``factors`` maps links to a retained-capacity fraction in ``[0, 1]``
+    (0 = fully failed, 1 = healthy) — a *brownout*.  Factors are applied
+    as exact :class:`~fractions.Fraction` so exact-mode solvers stay
+    exact.  Unknown links and out-of-range factors raise
+    :class:`~repro.errors.CapacityValidationError`.
+    """
+    _check_known(capacities, factors)
+    bad = {
+        link: factor
+        for link, factor in factors.items()
+        if not 0 <= Fraction(factor) <= 1
+    }
+    if bad:
+        raise CapacityValidationError(
+            f"degradation factors must lie in [0, 1]: {bad!r}"
+        )
+    degraded = dict(capacities)
+    for link, factor in factors.items():
+        degraded[link] = degraded[link] * Fraction(factor)
+    return degraded
+
+
+def interior_links(capacities: Capacities) -> List[Link]:
+    """The ToR–middle links of a capacity map (failure candidates)."""
+    return [
+        link
+        for link in capacities
+        if isinstance(link[0], (InputSwitch, MiddleSwitch))
+        and isinstance(link[1], (MiddleSwitch, OutputSwitch))
+    ]
+
+
+def middle_switch_links(network: ClosNetwork, m: int) -> List[Link]:
+    """All interior links incident to middle switch ``M_m``."""
+    middle = network.middle(m)
+    links: List[Link] = []
+    for inp in network.input_switches:
+        links.append((inp, middle))
+    for out in network.output_switches:
+        links.append((middle, out))
+    return links
+
+
+def fail_middle_switch(
+    network: ClosNetwork, capacities: Capacities, m: int
+) -> Capacities:
+    """Zero every link of middle switch ``M_m`` (a whole-switch failure)."""
+    return fail_links(capacities, middle_switch_links(network, m))
+
+
+def random_link_failures(
+    network: ClosNetwork,
+    capacities: Capacities,
+    count: int,
+    seed: int = 0,
+    interior_only: bool = True,
+) -> Tuple[Capacities, List[Link]]:
+    """Fail ``count`` uniformly random links; returns (capacities, failed).
+
+    ``interior_only`` restricts failures to ToR–middle links (server
+    links failing disconnect a host outright, a less interesting mode).
+    The draw is a pure function of ``seed``: identical seeds produce
+    identical failure sets across runs and platforms.
+    """
+    if count < 0:
+        raise CapacityValidationError(
+            f"failure count must be >= 0, got {count}"
+        )
+    candidates = interior_links(capacities) if interior_only else list(capacities)
+    if count > len(candidates):
+        raise CapacityValidationError(
+            f"cannot fail {count} of {len(candidates)} candidate links"
+        )
+    rng = random.Random(seed)
+    failed = rng.sample(candidates, count)
+    return fail_links(capacities, failed), failed
+
+
+class FailureGroup(NamedTuple):
+    """A named set of links that fail *together* (shared-risk group)."""
+
+    name: str
+    links: Tuple[Link, ...]
+
+
+def correlated_groups(network: ClosNetwork) -> List[FailureGroup]:
+    """The fabric's natural shared-risk groups.
+
+    One group per middle switch (linecard/switch loss) and one per ToR
+    uplink bundle (an input or output switch losing its whole interior
+    trunk) — the correlated modes real fabrics exhibit, as opposed to
+    independent per-link failures.
+    """
+    groups: List[FailureGroup] = []
+    for m in range(1, network.num_middles + 1):
+        groups.append(
+            FailureGroup(f"middle-{m}", tuple(middle_switch_links(network, m)))
+        )
+    for inp in network.input_switches:
+        links = tuple((inp, mid) for mid in network.middle_switches)
+        groups.append(FailureGroup(f"uplinks-I{inp.index}", links))
+    for out in network.output_switches:
+        links = tuple((mid, out) for mid in network.middle_switches)
+        groups.append(FailureGroup(f"downlinks-O{out.index}", links))
+    return groups
+
+
+def random_group_failures(
+    network: ClosNetwork,
+    capacities: Capacities,
+    count: int,
+    seed: int = 0,
+    severity: object = 0,
+) -> Tuple[Capacities, List[FailureGroup]]:
+    """Fail ``count`` random shared-risk groups together.
+
+    ``severity`` is the retained-capacity fraction applied to every link
+    of a chosen group: 0 (default) is a hard correlated failure, values
+    in (0, 1) are correlated brownouts.  Deterministic in ``seed``.
+    """
+    if count < 0:
+        raise CapacityValidationError(
+            f"failure count must be >= 0, got {count}"
+        )
+    groups = correlated_groups(network)
+    if count > len(groups):
+        raise CapacityValidationError(
+            f"cannot fail {count} of {len(groups)} shared-risk groups"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(groups, count)
+    factors: Dict[Link, object] = {}
+    for group in chosen:
+        for link in group.links:
+            factors[link] = severity
+    return degrade_links(capacities, factors), chosen
+
+
+def surviving_network(
+    network: ClosNetwork, failed_middles: Iterable[int]
+) -> Tuple[ClosNetwork, Dict[int, int]]:
+    """A Clos network with the failed middle switches removed.
+
+    Routers that are failure-aware route in the surviving network; the
+    returned map sends surviving middle indices (1-based, contiguous)
+    back to the original indices so routings can be translated.
+    """
+    from repro.errors import DisconnectedFlowError
+
+    dead = set(failed_middles)
+    survivors = [
+        m for m in range(1, network.num_middles + 1) if m not in dead
+    ]
+    if not survivors:
+        raise DisconnectedFlowError(
+            [], message="all middle switches failed: no surviving paths"
+        )
+    smaller = ClosNetwork(network.n, middle_count=len(survivors))
+    index_map = {new: old for new, old in enumerate(survivors, start=1)}
+    return smaller, index_map
+
+
+def failed_middles_of(
+    network: ClosNetwork, capacities: Mapping[Link, object]
+) -> List[int]:
+    """Middle switches with *every* incident link at capacity 0."""
+    dead: List[int] = []
+    for m in range(1, network.num_middles + 1):
+        links = middle_switch_links(network, m)
+        if all(capacities.get(link, 0) == 0 for link in links):
+            dead.append(m)
+    return dead
+
+
+def usable_middles(
+    network: ClosNetwork,
+    capacities: Mapping[Link, object],
+    flow,
+    exclude: Optional[Iterable[int]] = None,
+) -> List[int]:
+    """Middle switches offering ``flow`` a path of positive capacity."""
+    banned = set(exclude or ())
+    i, o = flow.source.switch, flow.dest.switch
+    usable: List[int] = []
+    for m in range(1, network.num_middles + 1):
+        if m in banned:
+            continue
+        middle = network.middle(m)
+        up = capacities.get((InputSwitch(i), middle), 0)
+        down = capacities.get((middle, OutputSwitch(o)), 0)
+        if up > 0 and down > 0:
+            usable.append(m)
+    return usable

@@ -1,0 +1,150 @@
+"""Failure-aware routing: reroute around dead capacity, report casualties.
+
+The routers in :mod:`repro.routers` assume a healthy fabric; on a
+degraded capacity map they happily pin flows onto zero-capacity links
+(which then water-fill to rate 0 — a silently wrong answer from the
+operator's point of view).  This module wraps any router with the
+recovery loop a real fabric controller runs:
+
+1. Route in the :func:`~repro.failures.inject.surviving_network` (fully
+   dead middle switches removed), translating middle indices back.
+2. Audit the result against the *actual* degraded capacities: any flow
+   whose path crosses a zero-capacity link is rerouted onto one of its
+   surviving middles, least-loaded first, for up to ``max_attempts``
+   repair passes.
+3. Flows with no surviving path at all are *sacrificed*: dropped from
+   the routing and reported (or raised, with ``strict=True``) — never
+   silently returned at rate 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.errors import DisconnectedFlowError, InfeasibleRoutingError
+from repro.core.flows import Flow, FlowCollection
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.failures.inject import (
+    Capacities,
+    failed_middles_of,
+    surviving_network,
+    usable_middles,
+)
+
+Router = Callable[[ClosNetwork, FlowCollection], Routing]
+
+
+class ResilientRouting(NamedTuple):
+    """The outcome of routing on a degraded fabric."""
+
+    #: Routing over the surviving flows only.
+    routing: Routing
+    #: Flows with no surviving path (excluded from ``routing``).
+    sacrificed: List[Flow]
+    #: Flows moved off a dead link during the repair passes.
+    rerouted: List[Flow]
+    #: Repair passes actually used (0 = first routing was clean).
+    attempts: int
+
+
+def _default_router(network: ClosNetwork, flows: FlowCollection) -> Routing:
+    from repro.routers.greedy import greedy_least_congested
+
+    return greedy_least_congested(network, flows)
+
+
+def route_with_failures(
+    network: ClosNetwork,
+    flows: FlowCollection,
+    capacities: Capacities,
+    router: Optional[Router] = None,
+    max_attempts: int = 3,
+    strict: bool = False,
+) -> ResilientRouting:
+    """Route ``flows`` on a degraded fabric, repairing around failures.
+
+    ``router`` is any ``(network, flows) -> Routing`` callable (default:
+    greedy least-congested).  ``max_attempts`` bounds the repair passes
+    after the initial routing.  With ``strict=True`` disconnected flows
+    raise :class:`~repro.errors.DisconnectedFlowError` instead of being
+    sacrificed.
+    """
+    if max_attempts < 0:
+        raise InfeasibleRoutingError(
+            f"max_attempts must be >= 0, got {max_attempts}"
+        )
+    route = router if router is not None else _default_router
+
+    # Sacrifice flows that no middle switch can carry, up front.
+    connected = FlowCollection()
+    sacrificed: List[Flow] = []
+    for flow in flows:
+        if usable_middles(network, capacities, flow):
+            connected.add(flow)
+        else:
+            sacrificed.append(flow)
+    if sacrificed and strict:
+        raise DisconnectedFlowError(sacrificed)
+    if not len(connected):
+        return ResilientRouting(Routing({}), sacrificed, [], 0)
+
+    # Pass 0: route in the surviving network (dead middles removed).
+    dead = failed_middles_of(network, capacities)
+    if dead:
+        smaller, index_map = surviving_network(network, dead)
+        small_routing = route(smaller, connected)
+        middles = {
+            flow: index_map[m]
+            for flow, m in small_routing.middles(smaller).items()
+        }
+    else:
+        middles = route(network, connected).middles(network)
+
+    # Repair passes: move flows off links that are dead but whose middle
+    # switch survives elsewhere (partial failures the surviving-network
+    # projection cannot see).
+    rerouted: List[Flow] = []
+    attempts = 0
+    for _ in range(max_attempts):
+        load: Dict[int, int] = {}
+        for m in middles.values():
+            load[m] = load.get(m, 0) + 1
+        broken = [
+            flow
+            for flow, m in middles.items()
+            if m not in usable_middles(network, capacities, flow)
+        ]
+        if not broken:
+            break
+        attempts += 1
+        for flow in broken:
+            options = usable_middles(network, capacities, flow)
+            # least-loaded usable middle, lowest index on ties
+            best = min(options, key=lambda m: (load.get(m, 0), m))
+            load[middles[flow]] = load.get(middles[flow], 1) - 1
+            load[best] = load.get(best, 0) + 1
+            middles[flow] = best
+            rerouted.append(flow)
+
+    still_broken = [
+        flow
+        for flow, m in middles.items()
+        if m not in usable_middles(network, capacities, flow)
+    ]
+    if still_broken:
+        raise DisconnectedFlowError(
+            still_broken,
+            message=(
+                f"{len(still_broken)} flow(s) still cross dead links after "
+                f"{max_attempts} repair pass(es): {still_broken!r}"
+            ),
+        )
+
+    routing = Routing.from_middles(network, connected, middles)
+    return ResilientRouting(
+        routing=routing,
+        sacrificed=sacrificed,
+        rerouted=rerouted,
+        attempts=attempts,
+    )

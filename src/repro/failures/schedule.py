@@ -1,0 +1,309 @@
+"""Time-varying failures: link flaps, switch crashes, replayable traces.
+
+Static injection (:mod:`repro.failures.inject`) answers "what does the
+degraded fabric look like"; this module answers "what does the fabric
+look like *at time t*".  A :class:`FailureSchedule` is an ordered list
+of :class:`FailureEvent` — at ``time`` the ``link`` drops to ``factor``
+of its base capacity (0 = hard failure, 1 = full recovery, anything in
+between a brownout) and stays there until the link's next event.
+
+The schedule is consumed two ways:
+
+- **Solvers**: :meth:`FailureSchedule.capacities_at` materializes the
+  capacity map of any instant, so max-min allocations can be computed
+  along a failure timeline.
+- **The simulator**: :func:`repro.sim.flowsim.simulate` accepts a
+  ``failure_schedule`` and replays it as discrete events, re-consulting
+  the congestion-control policy whenever the fabric changes.
+
+Schedules are deterministic values: construction from a seed is a pure
+function of that seed, :meth:`trace` is a canonical plain-data form for
+equality/golden tests, and :meth:`to_dict`/:meth:`from_dict` round-trip
+through JSON so a failure trace captured in production can be replayed
+in the lab bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, NamedTuple, Sequence, Tuple
+
+from repro.errors import CapacityValidationError
+from repro.core.nodes import (
+    ClosNode,
+    Destination,
+    InputSwitch,
+    MiddleSwitch,
+    OutputSwitch,
+    Source,
+)
+from repro.core.routing import Link
+from repro.core.topology import ClosNetwork
+from repro.failures.inject import (
+    Capacities,
+    interior_links,
+    middle_switch_links,
+)
+
+_NODE_KINDS = {
+    "I": InputSwitch,
+    "O": OutputSwitch,
+    "M": MiddleSwitch,
+    "s": Source,
+    "t": Destination,
+}
+
+
+def _node_to_data(node: ClosNode) -> List[Any]:
+    return [node.kind] + [int(field) for field in node[:-1]]
+
+
+def _node_from_data(data: Sequence[Any]) -> ClosNode:
+    try:
+        kind, indices = data[0], [int(x) for x in data[1:]]
+        return _NODE_KINDS[kind](*indices)
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise CapacityValidationError(f"malformed node {data!r}") from error
+
+
+class FailureEvent(NamedTuple):
+    """At ``time``, ``link`` changes to ``factor`` × its base capacity."""
+
+    time: float
+    link: Link
+    factor: Fraction
+
+
+class FailureSchedule:
+    """An immutable, time-sorted sequence of capacity-change events.
+
+    >>> from repro.core.topology import ClosNetwork
+    >>> clos = ClosNetwork(2)
+    >>> link = (clos.input_switches[0], clos.middle_switches[0])
+    >>> schedule = FailureSchedule.link_flap(link, down_at=1.0, up_at=2.0)
+    >>> [event.time for event in schedule.events()]
+    [1.0, 2.0]
+    >>> caps = schedule.capacities_at(1.5, clos.graph.capacities())
+    >>> caps[link]
+    Fraction(0, 1)
+    """
+
+    def __init__(self, events: Iterable[FailureEvent]) -> None:
+        normalized: List[FailureEvent] = []
+        for event in events:
+            time, link, factor = event
+            if time < 0:
+                raise CapacityValidationError(
+                    f"negative failure time: {time!r}"
+                )
+            factor = Fraction(factor)
+            if not 0 <= factor <= 1:
+                raise CapacityValidationError(
+                    f"capacity factor must lie in [0, 1], got {factor}"
+                )
+            normalized.append(FailureEvent(float(time), tuple(link), factor))
+        # Stable sort: simultaneous events keep construction order, so a
+        # crash-then-recover pair at the same instant resolves recovered.
+        self._events: Tuple[FailureEvent, ...] = tuple(
+            sorted(normalized, key=lambda event: event.time)
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def link_flap(
+        cls,
+        link: Link,
+        down_at: float,
+        up_at: float,
+        period: float = 0.0,
+        count: int = 1,
+        severity: object = 0,
+    ) -> "FailureSchedule":
+        """``count`` down/up cycles of one link, ``period`` apart."""
+        if up_at <= down_at:
+            raise CapacityValidationError(
+                f"recovery must follow failure: down={down_at}, up={up_at}"
+            )
+        if count < 1:
+            raise CapacityValidationError(f"count must be >= 1, got {count}")
+        if count > 1 and period <= 0:
+            raise CapacityValidationError(
+                "repeating flaps need a positive period"
+            )
+        events: List[FailureEvent] = []
+        for cycle in range(count):
+            offset = cycle * period
+            events.append(
+                FailureEvent(down_at + offset, link, Fraction(severity))
+            )
+            events.append(FailureEvent(up_at + offset, link, Fraction(1)))
+        return cls(events)
+
+    @classmethod
+    def switch_crash(
+        cls,
+        network: ClosNetwork,
+        m: int,
+        at: float,
+        recover_at: float = None,
+        severity: object = 0,
+    ) -> "FailureSchedule":
+        """Middle switch ``M_m`` crashes at ``at`` (optionally recovers)."""
+        events: List[FailureEvent] = []
+        for link in middle_switch_links(network, m):
+            events.append(FailureEvent(at, link, Fraction(severity)))
+            if recover_at is not None:
+                if recover_at <= at:
+                    raise CapacityValidationError(
+                        f"recovery must follow crash: at={at}, "
+                        f"recover_at={recover_at}"
+                    )
+                events.append(FailureEvent(recover_at, link, Fraction(1)))
+        return cls(events)
+
+    @classmethod
+    def random_flaps(
+        cls,
+        network: ClosNetwork,
+        count: int,
+        horizon: float,
+        seed: int = 0,
+        mean_downtime: float = None,
+        severity: object = 0,
+    ) -> "FailureSchedule":
+        """``count`` random interior-link flaps inside ``[0, horizon]``.
+
+        A pure function of ``seed`` — identical seeds give identical
+        traces, which the determinism tests pin down.
+        """
+        if count < 0:
+            raise CapacityValidationError(f"count must be >= 0, got {count}")
+        if horizon <= 0:
+            raise CapacityValidationError(
+                f"horizon must be positive, got {horizon}"
+            )
+        rng = random.Random(seed)
+        candidates = sorted(
+            interior_links(network.graph.capacities()), key=repr
+        )
+        downtime = mean_downtime if mean_downtime is not None else horizon / 10
+        events: List[FailureEvent] = []
+        for _ in range(count):
+            link = rng.choice(candidates)
+            down = rng.uniform(0, horizon)
+            up = min(horizon, down + rng.expovariate(1.0 / downtime))
+            events.append(FailureEvent(down, link, Fraction(severity)))
+            events.append(FailureEvent(up, link, Fraction(1)))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def events(self) -> List[FailureEvent]:
+        """The events, time-sorted (ties in construction order)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureSchedule):
+            return NotImplemented
+        return self._events == other._events
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def horizon(self) -> float:
+        """The time of the last event (0.0 for an empty schedule)."""
+        return self._events[-1].time if self._events else 0.0
+
+    def trace(self) -> List[Tuple[float, str, str]]:
+        """A canonical plain-data form: ``(time, link repr, factor)``.
+
+        Two schedules with equal traces behave identically; golden and
+        determinism tests compare traces rather than object graphs.
+        """
+        return [
+            (event.time, repr(event.link), str(event.factor))
+            for event in self._events
+        ]
+
+    def factors_at(self, time: float) -> Dict[Link, Fraction]:
+        """Each touched link's retained-capacity factor at ``time``.
+
+        Events are inclusive: a failure *at* ``time`` is already in
+        effect at ``time`` (matching the simulator, which applies a
+        failure event before re-consulting the policy).
+        """
+        factors: Dict[Link, Fraction] = {}
+        for event in self._events:
+            if event.time > time:
+                break
+            factors[event.link] = event.factor
+        return factors
+
+    def capacities_at(self, time: float, base: Capacities) -> Capacities:
+        """The capacity map in force at ``time``, derived from ``base``."""
+        from repro.failures.inject import _check_known
+
+        factors = self.factors_at(time)
+        _check_known(base, factors)
+        degraded = dict(base)
+        for link, factor in factors.items():
+            degraded[link] = degraded[link] * factor
+        return degraded
+
+    def merged(self, other: "FailureSchedule") -> "FailureSchedule":
+        """The union of two schedules (e.g. a storm plus background flaps)."""
+        return FailureSchedule(list(self._events) + list(other.events()))
+
+    # ------------------------------------------------------------------
+    # Serialization (replayable traces)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-failure-schedule",
+            "version": 1,
+            "events": [
+                {
+                    "time": event.time,
+                    "link": [
+                        _node_to_data(event.link[0]),
+                        _node_to_data(event.link[1]),
+                    ],
+                    "factor": str(event.factor),
+                }
+                for event in self._events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "FailureSchedule":
+        if document.get("format") != "repro-failure-schedule":
+            raise CapacityValidationError(
+                f"not a failure-schedule document: {document.get('format')!r}"
+            )
+        events: List[FailureEvent] = []
+        for entry in document.get("events", []):
+            try:
+                link = (
+                    _node_from_data(entry["link"][0]),
+                    _node_from_data(entry["link"][1]),
+                )
+                events.append(
+                    FailureEvent(
+                        float(entry["time"]), link, Fraction(entry["factor"])
+                    )
+                )
+            except (KeyError, IndexError, TypeError, ValueError) as error:
+                raise CapacityValidationError(
+                    f"malformed schedule entry {entry!r}"
+                ) from error
+        return cls(events)

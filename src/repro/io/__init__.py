@@ -1,5 +1,19 @@
 """Scenario serialization: shareable, exact, round-trippable experiment inputs."""
 
-from repro.io.serialize import FORMAT_NAME, FORMAT_VERSION, Scenario, ScenarioError
+from repro.io.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    Scenario,
+    ScenarioError,
+    read_json,
+    write_json_atomic,
+)
 
-__all__ = ["FORMAT_NAME", "FORMAT_VERSION", "Scenario", "ScenarioError"]
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "Scenario",
+    "ScenarioError",
+    "read_json",
+    "write_json_atomic",
+]

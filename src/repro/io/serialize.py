@@ -22,6 +22,8 @@ The format is deliberately plain::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from fractions import Fraction
 from typing import Any, Dict, Optional
 
@@ -169,6 +171,42 @@ class Scenario:
     def load(cls, path: str) -> "Scenario":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.from_json(handle.read())
+
+
+def write_json_atomic(path: str, document: Dict[str, Any]) -> str:
+    """Write ``document`` as JSON via rename, so readers never see a torn
+    file — a crash mid-write leaves either the old checkpoint or the new
+    one, which is what lets the resilient runner resume after SIGKILL.
+    Returns ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    handle, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            json.dump(document, tmp, indent=2, sort_keys=True)
+            tmp.write("\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_json(path: str) -> Dict[str, Any]:
+    """Load a JSON document, raising :class:`ScenarioError` on bad JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ScenarioError(f"invalid JSON in {path}: {error}") from error
 
 
 def _rate_to_string(rate) -> str:

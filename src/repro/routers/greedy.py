@@ -22,10 +22,23 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.errors import InfeasibleRoutingError
 from repro.core.flows import Flow, FlowCollection
 from repro.core.objectives import macro_switch_max_min
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork, MacroSwitch
+
+
+def check_flows_in_network(network: ClosNetwork, flows: FlowCollection) -> None:
+    """Reject flows whose endpoints lie outside ``network``.
+
+    Demand-ordered routers index per-ToR congestion tables directly, so
+    a foreign flow would otherwise surface as a bare ``KeyError`` deep
+    in the placement loop.
+    """
+    for flow in flows:
+        network._check_server_indices(flow.source.switch, flow.source.server)
+        network._check_server_indices(flow.dest.switch, flow.dest.server)
 
 
 def macro_switch_demands(
@@ -48,8 +61,15 @@ def greedy_least_congested(
     equally congested paths break toward the lowest middle-switch index,
     making the router deterministic.
     """
+    check_flows_in_network(network, flows)
     if demands is None:
         demands = macro_switch_demands(network, flows)
+    else:
+        undemanded = [f for f in flows if f not in demands]
+        if undemanded:
+            raise InfeasibleRoutingError(
+                f"no demand given for flows: {undemanded!r}"
+            )
 
     n = network.num_middles
     up: Dict[Tuple[int, int], Fraction] = {}

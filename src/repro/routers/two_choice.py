@@ -15,10 +15,11 @@ import random
 from fractions import Fraction
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.errors import InfeasibleRoutingError
 from repro.core.flows import Flow, FlowCollection
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
-from repro.routers.greedy import macro_switch_demands
+from repro.routers.greedy import check_flows_in_network, macro_switch_demands
 
 
 def two_choice_routing(
@@ -38,7 +39,8 @@ def two_choice_routing(
     order.
     """
     if choices < 1:
-        raise ValueError(f"choices must be >= 1, got {choices}")
+        raise InfeasibleRoutingError(f"choices must be >= 1, got {choices}")
+    check_flows_in_network(network, flows)
     if demands is None:
         demands = macro_switch_demands(network, flows)
 

@@ -62,3 +62,20 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+def load_failure_schedule(queue: EventQueue, schedule) -> int:
+    """Push every event of a failure schedule onto ``queue``.
+
+    ``schedule`` is a :class:`repro.failures.schedule.FailureSchedule`
+    (duck-typed: anything with an ``events()`` method yielding objects
+    with ``time`` works).  Each event is enqueued with kind
+    ``"failure"`` and the original event as payload, so the driver loop
+    can replay a recorded failure trace alongside arrivals and
+    completions.  Returns the number of events loaded.
+    """
+    count = 0
+    for event in schedule.events():
+        queue.push(event.time, "failure", event)
+        count += 1
+    return count

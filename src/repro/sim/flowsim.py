@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
-from repro.sim.events import EventQueue
+from repro.sim.events import EventQueue, load_failure_schedule
 from repro.sim.jobs import FlowJob
 
 #: Completion-time comparisons tolerate this much float drift.
@@ -56,6 +56,7 @@ def simulate(
     policy,
     max_time: Optional[float] = None,
     max_events: int = 1_000_000,
+    failure_schedule=None,
 ) -> SimulationResult:
     """Run ``jobs`` under ``policy`` until everything finishes.
 
@@ -64,6 +65,15 @@ def simulate(
     hook called when a job completes.  ``max_time`` bounds the simulated
     clock (jobs still active are reported as unfinished);``max_events``
     bounds the event count as a runaway guard.
+
+    ``failure_schedule`` replays a
+    :class:`repro.failures.schedule.FailureSchedule` through the run:
+    at each failure event the accumulated link factors are handed to
+    ``policy.set_link_factors`` and the policy is re-consulted, so rates
+    respond to the fabric degrading and recovering mid-flight.  Policies
+    without that hook cannot honor a schedule — passing one raises
+    :class:`SimulationError` rather than silently simulating a healthy
+    fabric.
 
     >>> from repro.core.topology import ClosNetwork
     >>> from repro.sim.policies import MaxMinCongestionControl
@@ -77,6 +87,15 @@ def simulate(
     queue = EventQueue()
     for job in jobs:
         queue.push(job.arrival, "arrival", job)
+    if failure_schedule is not None:
+        if not hasattr(policy, "set_link_factors"):
+            raise SimulationError(
+                f"{type(policy).__name__} has no set_link_factors hook and "
+                "cannot replay a failure schedule"
+            )
+        load_failure_schedule(queue, failure_schedule)
+    #: link -> retained-capacity factor currently in force
+    link_factors: Dict = {}
 
     active: Dict[int, FlowJob] = {}
     remaining: Dict[int, float] = {}
@@ -130,7 +149,10 @@ def simulate(
             )
         return bool(finished)
 
+    pending_arrivals = len(jobs)
     while queue or active:
+        if not active and pending_arrivals == 0:
+            break  # only failure events remain; nothing left to serve
         events += 1
         if events > max_events:
             raise SimulationError(f"exceeded {max_events} events")
@@ -173,9 +195,25 @@ def simulate(
             continue  # re-consult the policy before touching the arrival
         if reached >= next_event.time - _TIME_EPS:
             event = queue.pop()
+            if event.kind == "failure":
+                # Apply every failure landing at this instant in one go,
+                # then re-consult the policy on the degraded fabric.
+                link_factors[event.payload.link] = event.payload.factor
+                while queue:
+                    upcoming = queue.peek()
+                    if (
+                        upcoming.kind != "failure"
+                        or upcoming.time > event.time + _TIME_EPS
+                    ):
+                        break
+                    failure = queue.pop().payload
+                    link_factors[failure.link] = failure.factor
+                policy.set_link_factors(dict(link_factors))
+                continue
             job = event.payload
             active[job.job_id] = job
             remaining[job.job_id] = job.size
+            pending_arrivals -= 1
 
     return SimulationResult(
         completed=completed,

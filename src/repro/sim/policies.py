@@ -66,6 +66,21 @@ class MaxMinCongestionControl:
         self.router = router
         self.seed = seed
         self._pinned: Dict[int, int] = {}  # job id -> middle switch
+        self._capacities = network.graph.capacities()
+
+    def set_link_factors(self, factors) -> None:
+        """Apply a failure state: link → retained-capacity fraction.
+
+        Called by the simulator when replaying a
+        :class:`repro.failures.schedule.FailureSchedule`; subsequent
+        ``rates`` computations water-fill over the degraded fabric.
+        Flows stay pinned to their paths (the pre-reroute window).
+        """
+        from repro.failures.inject import degrade_links
+
+        self._capacities = degrade_links(
+            self.network.graph.capacities(), factors
+        )
 
     def _pin(self, active: Mapping[int, FlowJob]) -> None:
         unpinned = [job for jid, job in active.items() if jid not in self._pinned]
@@ -104,7 +119,7 @@ class MaxMinCongestionControl:
             _job_flow(job): self._pinned[jid] for jid, job in active.items()
         }
         routing = Routing.from_middles(self.network, flows, middles)
-        alloc = max_min_fair(routing, self.network.graph.capacities(), exact=False)
+        alloc = max_min_fair(routing, self._capacities, exact=False)
         return {job.tag: alloc.rate(job) for job in flows}
 
     def forget(self, job_id: int) -> None:
@@ -221,6 +236,19 @@ class ReroutingCongestionControl:
         self.seed = seed
         self._pinned: Dict[int, int] = {}
         self._next_reroute = 0.0
+        self._capacities = network.graph.capacities()
+
+    def set_link_factors(self, factors) -> None:
+        """Apply a failure state: link → retained-capacity fraction.
+
+        Unlike pure congestion control, the next re-route epoch then
+        routes *around* the degraded links via the resilient wrapper.
+        """
+        from repro.failures.inject import degrade_links
+
+        self._capacities = degrade_links(
+            self.network.graph.capacities(), factors
+        )
 
     def _ecmp_pin(self, jobs) -> None:
         flows = FlowCollection(_job_flow(job) for job in jobs)
@@ -230,14 +258,21 @@ class ReroutingCongestionControl:
             self._pinned[job.job_id] = middle.index
 
     def _global_reroute(self, active: Mapping[int, FlowJob]) -> None:
-        from repro.routers.greedy import greedy_least_congested
+        from repro.failures.resilient import route_with_failures
 
         flows = FlowCollection(_job_flow(job) for job in active.values())
-        routing = greedy_least_congested(self.network, flows)
-        self._pinned = {
-            job.job_id: routing.middle_of(self.network, _job_flow(job)).index
-            for job in active.values()
-        }
+        result = route_with_failures(self.network, flows, self._capacities)
+        middles = result.routing.middles(self.network)
+        self._pinned = {}
+        for job in active.values():
+            flow = _job_flow(job)
+            if flow in middles:
+                self._pinned[job.job_id] = middles[flow]
+            else:
+                # Disconnected by failures: park the flow on middle 1 at
+                # whatever rate the dead links yield (zero) until the
+                # fabric recovers, rather than dropping it silently.
+                self._pinned[job.job_id] = 1
 
     def rates(
         self,
@@ -261,9 +296,7 @@ class ReroutingCongestionControl:
             _job_flow(job): self._pinned[jid] for jid, job in active.items()
         }
         routing = Routing.from_middles(self.network, flows, middles)
-        alloc = max_min_fair(
-            routing, self.network.graph.capacities(), exact=False
-        )
+        alloc = max_min_fair(routing, self._capacities, exact=False)
         return {job.tag: alloc.rate(job) for job in flows}
 
     def next_wakeup(self, now: float):

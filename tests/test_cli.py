@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.cli as cli
 from repro.cli import DESCRIPTIONS, EXPERIMENTS, build_parser, main
 
 
@@ -18,6 +19,36 @@ class TestParser:
 
     def test_every_experiment_has_description(self):
         assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "all",
+                "--timeout", "30",
+                "--retries", "2",
+                "--backoff", "0.1",
+                "--manifest", "sweep.json",
+            ]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.backoff == 0.1
+        assert args.manifest == "sweep.json"
+        assert args.keep_going is True  # the default
+
+    def test_fail_fast_flag(self):
+        args = build_parser().parse_args(["run", "all", "--fail-fast"])
+        assert args.keep_going is False
+
+    def test_keep_going_and_fail_fast_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "all", "--keep-going", "--fail-fast"]
+            )
+
+    def test_resume_flag(self):
+        args = build_parser().parse_args(["run", "all", "--resume", "m.json"])
+        assert args.resume == "m.json"
 
 
 class TestMain:
@@ -58,3 +89,69 @@ class TestMain:
 
     def test_run_is_case_insensitive(self, capsys):
         assert main(["run", "E1"]) == 0
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    """Three tiny experiments, the middle one broken."""
+    ran = []
+
+    def ok(name):
+        def experiment(args):
+            ran.append(name)
+            print(f"{name} result table")
+
+        return experiment
+
+    def bad(args):
+        ran.append("e_bad")
+        raise RuntimeError("solver exploded")
+
+    fakes = {"e_ok1": ok("e_ok1"), "e_bad": bad, "e_ok2": ok("e_ok2")}
+    monkeypatch.setattr(cli, "EXPERIMENTS", fakes)
+    return ran
+
+
+class TestResilientRun:
+    def test_run_all_keeps_going_and_exits_nonzero(
+        self, capsys, fake_experiments
+    ):
+        assert main(["run", "all"]) == 1
+        captured = capsys.readouterr()
+        # the failure did not stop the sweep
+        assert fake_experiments == ["e_ok1", "e_bad", "e_ok2"]
+        assert "e_ok1 result table" in captured.out
+        assert "e_ok2 result table" in captured.out
+        # pass/fail summary table plus the error on stderr
+        assert "run summary" in captured.out
+        assert "FAILED" in captured.out
+        assert "solver exploded" in captured.err
+
+    def test_fail_fast_stops_the_sweep(self, capsys, fake_experiments):
+        assert main(["run", "all", "--fail-fast"]) == 1
+        assert fake_experiments == ["e_ok1", "e_bad"]
+
+    def test_all_green_sweep_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"e_a": lambda args: print("fine")}
+        )
+        assert main(["run", "all"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_single_timeout_flag_engages_runner(self, capsys, monkeypatch):
+        import time
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"e_hang": lambda args: time.sleep(5)}
+        )
+        assert main(["run", "e_hang", "--timeout", "0.1"]) == 1
+        assert "timeout" in capsys.readouterr().err
+
+    def test_manifest_then_resume_is_byte_identical(self, capsys, tmp_path):
+        manifest = str(tmp_path / "e1.json")
+        assert main(["run", "e1", "--manifest", manifest]) == 0
+        first = capsys.readouterr().out
+        assert "matches paper: True" in first
+
+        assert main(["run", "e1", "--resume", manifest]) == 0
+        assert capsys.readouterr().out == first

@@ -1,0 +1,175 @@
+"""Time-varying failure schedules: validation, determinism, replay."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import CapacityValidationError
+from repro.core.topology import ClosNetwork
+from repro.failures import (
+    FailureEvent,
+    FailureSchedule,
+    fail_middle_switch,
+)
+from repro.sim import (
+    FlowJob,
+    MaxMinCongestionControl,
+    SimulationError,
+    simulate,
+)
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(2)
+
+
+def _link(clos):
+    return next(iter(clos.graph.capacities()))
+
+
+class TestConstruction:
+    def test_events_sorted_by_time(self, clos):
+        link = _link(clos)
+        schedule = FailureSchedule(
+            [
+                FailureEvent(5.0, link, Fraction(1)),
+                FailureEvent(1.0, link, Fraction(0)),
+            ]
+        )
+        assert [event.time for event in schedule.events()] == [1.0, 5.0]
+
+    def test_negative_time_rejected(self, clos):
+        with pytest.raises(CapacityValidationError):
+            FailureSchedule([FailureEvent(-1.0, _link(clos), Fraction(0))])
+
+    def test_out_of_range_factor_rejected(self, clos):
+        with pytest.raises(CapacityValidationError):
+            FailureSchedule([FailureEvent(1.0, _link(clos), Fraction(3, 2))])
+
+    def test_link_flap_shape(self, clos):
+        link = _link(clos)
+        schedule = FailureSchedule.link_flap(link, down_at=1.0, up_at=2.0)
+        assert schedule.trace() == [
+            (1.0, repr(link), "0"),
+            (2.0, repr(link), "1"),
+        ]
+
+    def test_periodic_flap(self, clos):
+        schedule = FailureSchedule.link_flap(
+            _link(clos), down_at=1.0, up_at=2.0, period=10.0, count=3
+        )
+        assert [event.time for event in schedule.events()] == [
+            1.0, 2.0, 11.0, 12.0, 21.0, 22.0,
+        ]
+
+    def test_switch_crash_covers_all_switch_links(self, clos):
+        schedule = FailureSchedule.switch_crash(clos, 1, at=3.0)
+        healthy = clos.graph.capacities()
+        crashed = fail_middle_switch(clos, healthy, 1)
+        dead_links = {
+            link for link, cap in crashed.items() if cap != healthy[link]
+        }
+        assert {event.link for event in schedule.events()} == dead_links
+        assert all(event.time == 3.0 for event in schedule.events())
+
+    def test_merged_preserves_order(self, clos):
+        link = _link(clos)
+        first = FailureSchedule.link_flap(link, down_at=5.0, up_at=6.0)
+        second = FailureSchedule.link_flap(link, down_at=1.0, up_at=2.0)
+        merged = first.merged(second)
+        times = [event.time for event in merged.events()]
+        assert times == sorted(times)
+        assert len(merged) == 4
+
+
+class TestDeterminism:
+    def test_random_flaps_pure_function_of_seed(self, clos):
+        one = FailureSchedule.random_flaps(clos, count=6, horizon=50.0, seed=9)
+        two = FailureSchedule.random_flaps(clos, count=6, horizon=50.0, seed=9)
+        assert one == two
+        assert one.trace() == two.trace()
+
+    def test_random_flaps_vary_with_seed(self, clos):
+        one = FailureSchedule.random_flaps(clos, count=6, horizon=50.0, seed=1)
+        two = FailureSchedule.random_flaps(clos, count=6, horizon=50.0, seed=2)
+        assert one.trace() != two.trace()
+
+    def test_roundtrip_through_dict(self, clos):
+        schedule = FailureSchedule.random_flaps(
+            clos, count=4, horizon=20.0, seed=3, severity=Fraction(1, 4)
+        )
+        restored = FailureSchedule.from_dict(schedule.to_dict())
+        assert restored == schedule
+        assert restored.trace() == schedule.trace()
+
+
+class TestFactorsAt:
+    def test_factors_inclusive_at_event_time(self, clos):
+        link = _link(clos)
+        schedule = FailureSchedule.link_flap(link, down_at=1.0, up_at=2.0)
+        assert schedule.factors_at(0.5) == {}
+        assert schedule.factors_at(1.0) == {link: Fraction(0)}
+        assert schedule.factors_at(1.5) == {link: Fraction(0)}
+        assert schedule.factors_at(2.0) == {link: Fraction(1)}
+
+    def test_capacities_at_applies_factor(self, clos):
+        link = _link(clos)
+        base = clos.graph.capacities()
+        schedule = FailureSchedule.link_flap(
+            link, down_at=1.0, up_at=2.0, severity=Fraction(1, 2)
+        )
+        degraded = schedule.capacities_at(1.5, base)
+        assert degraded[link] == base[link] / 2
+        assert schedule.capacities_at(3.0, base) == base
+
+
+class TestSimulationReplay:
+    def _job(self, clos, size=2.0):
+        return FlowJob(
+            job_id=0,
+            source=clos.source(1, 1),
+            dest=clos.destination(3, 1),
+            arrival=0.0,
+            size=size,
+        )
+
+    def test_flap_stalls_the_flow(self, clos):
+        # One flow at rate 1; its uplink dies on [1, 2).  Two units of
+        # work therefore take exactly 3 time units: run, stall, run.
+        job = self._job(clos)
+        policy = MaxMinCongestionControl(clos)
+        uplink = next(
+            link for link in clos.graph.capacities()
+            if link[0] == job.source
+        )
+        schedule = FailureSchedule.link_flap(uplink, down_at=1.0, up_at=2.0)
+        result = simulate([job], policy, failure_schedule=schedule)
+        assert result.completed[0].completion_time == pytest.approx(3.0)
+
+    def test_no_schedule_means_no_stall(self, clos):
+        job = self._job(clos)
+        policy = MaxMinCongestionControl(clos)
+        result = simulate([job], policy)
+        assert result.completed[0].completion_time == pytest.approx(2.0)
+
+    def test_policy_without_hook_is_rejected(self, clos):
+        class Oblivious:
+            def rates(self, active, remaining, now):
+                return {job_id: 1.0 for job_id in active}
+
+        job = self._job(clos)
+        schedule = FailureSchedule.link_flap(
+            _link(clos), down_at=1.0, up_at=2.0
+        )
+        with pytest.raises(SimulationError):
+            simulate([job], Oblivious(), failure_schedule=schedule)
+
+    def test_permanent_crash_starves(self, clos):
+        job = self._job(clos)
+        schedule = FailureSchedule.switch_crash(clos, 1, at=1.0).merged(
+            FailureSchedule.switch_crash(clos, 2, at=1.0)
+        )
+        policy = MaxMinCongestionControl(clos)
+        with pytest.raises(SimulationError):
+            simulate([job], policy, failure_schedule=schedule)

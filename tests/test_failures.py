@@ -9,10 +9,15 @@ from repro.core.maxmin import max_min_fair
 from repro.core.nodes import InputSwitch, MiddleSwitch
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.errors import CapacityValidationError, UnknownLinkError
 from repro.failures import (
+    FailureGroup,
+    correlated_groups,
+    degrade_links,
     fail_links,
     fail_middle_switch,
     middle_switch_links,
+    random_group_failures,
     random_link_failures,
     surviving_network,
 )
@@ -36,6 +41,16 @@ class TestFailLinks:
     def test_unknown_link_rejected(self, clos):
         with pytest.raises(KeyError):
             fail_links(clos.graph.capacities(), [("nope", "nope")])
+
+    def test_all_unknown_links_reported_at_once(self, clos):
+        known = next(iter(clos.graph.capacities()))
+        with pytest.raises(UnknownLinkError) as excinfo:
+            fail_links(
+                clos.graph.capacities(), [("a", "b"), known, ("c", "d")]
+            )
+        assert excinfo.value.links == [("a", "b"), ("c", "d")]
+        message = str(excinfo.value)
+        assert "('a', 'b')" in message and "('c', 'd')" in message
 
     def test_flows_on_failed_link_starve(self, clos):
         flows = FlowCollection(
@@ -102,6 +117,10 @@ class TestRandomFailures:
         with pytest.raises(ValueError):
             random_link_failures(clos, capacities, 10**6)
 
+    def test_negative_count_rejected(self, clos):
+        with pytest.raises(CapacityValidationError):
+            random_link_failures(clos, clos.graph.capacities(), -2)
+
     def test_degraded_waterfill_still_certified(self, clos):
         """Max-min fairness holds on degraded fabrics too (tol for the
         zero-capacity links' trivial saturation)."""
@@ -114,6 +133,148 @@ class TestRandomFailures:
         )
         alloc = max_min_fair(routing, degraded)
         assert is_max_min_fair(routing, alloc, degraded)
+
+
+class TestBrownouts:
+    def test_degrade_scales_exactly(self, clos):
+        capacities = clos.graph.capacities()
+        link = (InputSwitch(1), MiddleSwitch(1))
+        degraded = degrade_links(capacities, {link: Fraction(1, 3)})
+        assert degraded[link] == Fraction(1, 3)
+        assert capacities[link] == 1  # original untouched
+
+    def test_factor_one_is_identity_zero_is_failure(self, clos):
+        capacities = clos.graph.capacities()
+        link = (InputSwitch(1), MiddleSwitch(1))
+        assert degrade_links(capacities, {link: 1}) == capacities
+        assert degrade_links(capacities, {link: 0})[link] == 0
+
+    def test_unknown_link_rejected(self, clos):
+        with pytest.raises(UnknownLinkError):
+            degrade_links(clos.graph.capacities(), {("a", "b"): 1})
+
+    def test_out_of_range_factor_rejected(self, clos):
+        link = (InputSwitch(1), MiddleSwitch(1))
+        for factor in (-1, 2, Fraction(3, 2)):
+            with pytest.raises(CapacityValidationError):
+                degrade_links(clos.graph.capacities(), {link: factor})
+
+    def test_brownout_waterfill_stays_exact(self, clos):
+        flows = FlowCollection(
+            [Flow(clos.source(1, 1), clos.destination(4, 1))]
+        )
+        routing = Routing.uniform(clos, flows, 1)
+        degraded = degrade_links(
+            clos.graph.capacities(),
+            {(InputSwitch(1), MiddleSwitch(1)): Fraction(2, 7)},
+        )
+        alloc = max_min_fair(routing, degraded)
+        assert alloc.rate(flows[0]) == Fraction(2, 7)
+
+
+class TestCorrelatedGroups:
+    def test_inventory(self, clos):
+        groups = correlated_groups(clos)
+        # one per middle switch + one uplink/downlink bundle per ToR
+        assert len(groups) == clos.num_middles + 4 * clos.n
+        names = {group.name for group in groups}
+        assert "middle-1" in names and "uplinks-I1" in names
+
+    def test_group_failure_matches_switch_failure(self, clos):
+        capacities = clos.graph.capacities()
+        group = next(
+            g for g in correlated_groups(clos) if g.name == "middle-2"
+        )
+        assert fail_links(capacities, group.links) == fail_middle_switch(
+            clos, capacities, 2
+        )
+
+    def test_random_group_failures_deterministic(self, clos):
+        capacities = clos.graph.capacities()
+        cap_a, chosen_a = random_group_failures(clos, capacities, 2, seed=5)
+        cap_b, chosen_b = random_group_failures(clos, capacities, 2, seed=5)
+        assert cap_a == cap_b
+        assert [g.name for g in chosen_a] == [g.name for g in chosen_b]
+
+    def test_random_group_brownout_severity(self, clos):
+        capacities = clos.graph.capacities()
+        degraded, chosen = random_group_failures(
+            clos, capacities, 1, seed=0, severity=Fraction(1, 2)
+        )
+        for link in chosen[0].links:
+            assert degraded[link] == capacities[link] / 2
+
+    def test_count_validation(self, clos):
+        capacities = clos.graph.capacities()
+        with pytest.raises(CapacityValidationError):
+            random_group_failures(clos, capacities, -1)
+        with pytest.raises(CapacityValidationError):
+            random_group_failures(clos, capacities, 10**6)
+
+
+class TestDegradationMonotonicity:
+    """What degrading one link can and cannot do to a max-min allocation.
+
+    The naive property — "degrading a capacity never increases any
+    flow's rate" — is FALSE per-flow: if flows A and B share link L1
+    (capacity 1) and B also crosses L2, degrading L2 freezes B early,
+    which *releases* L1 bandwidth to A and raises A's rate.  The true
+    invariants of water-filling under degradation are leximin-wide:
+
+    - the sorted rate vector never lexicographically increases,
+    - the minimum rate never increases,
+    - flows crossing the degraded link itself never improve.
+    """
+
+    def test_leximin_never_improves_under_degradation(self, clos):
+        from repro.core.allocation import lex_compare
+
+        for seed in range(20):
+            flows = random_flows(clos, 10, seed=seed)
+            routing = random_routing(clos, flows, seed=seed)
+            capacities = clos.graph.capacities()
+            base = max_min_fair(routing, capacities)
+
+            links = interior_links_of(routing)
+            link = links[seed % len(links)]
+            factor = Fraction(seed % 10, 10)
+            degraded = degrade_links(capacities, {link: factor})
+            after = max_min_fair(routing, degraded)
+
+            assert (
+                lex_compare(after.sorted_vector(), base.sorted_vector()) <= 0
+            )
+            assert min(after.sorted_vector()) <= min(base.sorted_vector())
+            for flow in flows:
+                if link in routing.links_of(flow):
+                    assert after.rate(flow) <= base.rate(flow)
+
+    def test_naive_per_flow_property_is_false(self):
+        """The documented counterexample: degrading B's private link
+        RAISES A's rate.  Guards against anyone "strengthening" the
+        property test above to the per-flow version."""
+        clos = ClosNetwork(2)
+        a = Flow(clos.source(1, 1), clos.destination(3, 1))
+        b = Flow(clos.source(1, 2), clos.destination(4, 1))
+        flows = FlowCollection([a, b])
+        routing = Routing.uniform(clos, flows, 1)  # both share (I1, M1)
+        capacities = clos.graph.capacities()
+        base = max_min_fair(routing, capacities)
+        assert base.rate(a) == Fraction(1, 2)
+
+        b_private = (MiddleSwitch(1), clos.output_switches[3])  # (M1, O4)
+        degraded = degrade_links(capacities, {b_private: Fraction(1, 10)})
+        after = max_min_fair(routing, degraded)
+        assert after.rate(b) == Fraction(1, 10)
+        assert after.rate(a) == Fraction(9, 10)  # A improved!
+
+
+def interior_links_of(routing):
+    """Every link some flow traverses, deterministically ordered."""
+    links = set()
+    for flow in routing.flows():
+        links.update(routing.links_of(flow))
+    return sorted(links, key=repr)
 
 
 class TestSurvivingNetwork:
