@@ -17,6 +17,16 @@ wall clock, ``--retries``/``--backoff`` retry transient failures with
 the same seeds, ``--manifest sweep.json`` checkpoints progress after
 every experiment, and ``--resume sweep.json`` finishes a killed sweep
 without recomputing (or re-printing differently) what already ran.
+
+``profile`` runs one experiment under :mod:`repro.obs` tracing and
+prints the span tree (wall time, share of total, peak memory) plus
+every counter the hot paths incremented; ``--trace out.jsonl`` exports
+the span trees as JSONL.  ``stats`` renders the same summary from a
+manifest written by a sweep that ran with ``REPRO_OBS=1``::
+
+    python -m repro profile e2 --trace e2.jsonl
+    REPRO_OBS=1 python -m repro run all --manifest sweep.json
+    python -m repro stats sweep.json
 """
 
 from __future__ import annotations
@@ -414,6 +424,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", help="comma-separated experiment ids (default: all)"
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under tracing; print spans and counters",
+    )
+    profile.add_argument("experiment", help="e1..e16")
+    profile.add_argument("--ks", help="comma-separated k values (e2)")
+    profile.add_argument(
+        "--sizes", help="comma-separated network sizes (e3/e4)"
+    )
+    profile.add_argument("--n", type=int, help="network size (e6)")
+    profile.add_argument(
+        "--trace", help="write the span trees to this JSONL file"
+    )
+    profile.add_argument(
+        "--no-memory",
+        dest="memory",
+        action="store_false",
+        default=True,
+        help="skip tracemalloc peak-memory accounting (faster)",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarize timings/counters from a traced run manifest",
+    )
+    stats.add_argument("manifest", help="manifest JSON written by 'run'")
+
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="e1..e16 or 'all'")
     run.add_argument("--ks", help="comma-separated k values (e2)")
@@ -487,8 +524,173 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run":
         return _run_command(args)
 
+    if args.command == "profile":
+        return _profile_command(args)
+
+    if args.command == "stats":
+        return _stats_command(args)
+
     parser.print_help()
     return 2
+
+
+# ----------------------------------------------------------------------
+# Observability commands (see repro.obs and docs/OBSERVABILITY.md)
+# ----------------------------------------------------------------------
+class _SpanGroup:
+    """Sibling spans of the same name, merged for compact display."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.duration = 0.0
+        self.mem_peak: Optional[int] = None
+        self.children: Dict[str, "_SpanGroup"] = {}
+
+    def absorb(self, span) -> None:
+        self.count += 1
+        self.duration += span.duration
+        if span.mem_peak_bytes is not None:
+            self.mem_peak = max(self.mem_peak or 0, span.mem_peak_bytes)
+        for child in span.children:
+            group = self.children.get(child.name)
+            if group is None:
+                group = self.children[child.name] = _SpanGroup(child.name)
+            group.absorb(child)
+
+
+def _span_rows(roots, total: float):
+    """Aggregate span trees (siblings merged by name) into table rows."""
+    from repro.runner import format_bytes
+
+    groups: Dict[str, _SpanGroup] = {}
+    for root in roots:
+        group = groups.get(root.name)
+        if group is None:
+            group = groups[root.name] = _SpanGroup(root.name)
+        group.absorb(root)
+
+    rows = []
+
+    def emit(group: _SpanGroup, depth: int) -> None:
+        share = (group.duration / total) if total > 0 else 0.0
+        label = group.name if group.count == 1 else (
+            f"{group.name} ×{group.count}"
+        )
+        rows.append(
+            [
+                "  " * depth + label,
+                f"{group.duration * 1000:.3f}ms",
+                f"{share * 100:.1f}%",
+                "-" if group.mem_peak is None else format_bytes(group.mem_peak),
+            ]
+        )
+        for child in group.children.values():
+            emit(child, depth + 1)
+
+    for group in groups.values():
+        emit(group, 0)
+    return rows
+
+
+def _print_metric_table(snapshot, title: str) -> None:
+    if not snapshot:
+        print(f"{title}: no metric activity recorded")
+        return
+    rows = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            value = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+        rows.append([name, value])
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _profile_command(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: one experiment under full tracing."""
+    from repro import obs
+
+    name = args.experiment.lower()
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment: {name!r} (try 'list')", file=sys.stderr)
+        return 2
+
+    was_enabled = obs.enabled()
+    obs.enable(memory=args.memory)
+    obs.reset()
+    try:
+        with obs.trace_span(f"profile:{name}"):
+            EXPERIMENTS[name](args)
+        roots = obs.tracer().collect()
+        snapshot = obs.metrics_snapshot()
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    total = sum(span.duration for span in roots)
+    print()
+    print(
+        format_table(
+            ["span", "wall", "share", "peak mem"],
+            _span_rows(roots, total),
+            title=f"profile — {name} span tree (siblings merged by name)",
+        )
+    )
+    print()
+    _print_metric_table(snapshot, f"profile — {name} counters")
+
+    if args.trace:
+        path = obs.write_trace_jsonl(args.trace, roots)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _stats_command(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: timings/counters from a traced manifest."""
+    from repro.errors import ExperimentError
+    from repro.runner import RunManifest, format_bytes
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (OSError, ExperimentError) as error:
+        print(f"cannot read manifest: {error}", file=sys.stderr)
+        return 2
+
+    rows = []
+    aggregated: Dict[str, int] = {}
+    traced_steps = 0
+    for record in manifest.steps.values():
+        span_wall = record.span_wall_seconds()
+        peak = record.peak_memory_bytes()
+        if record.trace is not None:
+            traced_steps += 1
+        rows.append(
+            [
+                record.name,
+                record.status.upper(),
+                f"{record.duration:.2f}s",
+                "-" if span_wall is None else f"{span_wall:.3f}s",
+                "-" if peak is None else format_bytes(peak),
+            ]
+        )
+        for metric, value in (record.metrics or {}).items():
+            if isinstance(value, int):
+                aggregated[metric] = aggregated.get(metric, 0) + value
+    print(
+        format_table(
+            ["step", "status", "duration", "wall (span)", "peak mem"],
+            rows,
+            title=f"stats — {args.manifest}",
+        )
+    )
+    print()
+    if traced_steps == 0:
+        print(
+            "no traces embedded in this manifest "
+            "(re-run the sweep with REPRO_OBS=1 to record them)"
+        )
+    else:
+        _print_metric_table(aggregated, "aggregated counters")
+    return 0
 
 
 def _wants_runner(args: argparse.Namespace) -> bool:

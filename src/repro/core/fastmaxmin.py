@@ -29,8 +29,15 @@ from repro.core.allocation import Allocation, Rate
 from repro.core.flows import Flow
 from repro.core.maxmin import UnboundedRateError, validate_capacities
 from repro.core.routing import Link, Routing
+from repro.obs import counter, trace_span
 
 _INF = float("inf")
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_SOLVES = counter("fastmaxmin.solves")
+_POPS = counter("fastmaxmin.heap_pops")
+_STALE = counter("fastmaxmin.stale_entries")
+_FREEZES = counter("fastmaxmin.flows_frozen")
 
 
 def max_min_fair_fast(
@@ -76,33 +83,39 @@ def max_min_fair_fast(
 
     rates: Dict[Flow, float] = {}
     frozen: Set[Flow] = set()
-    while len(frozen) < len(flows):
-        level, _, link = heapq.heappop(heap)
-        if count.get(link, 0) == 0:
-            continue  # fully frozen link; stale entry
-        current = residual[link] / count[link]
-        if current > level + 1e-15:
-            heapq.heappush(heap, (current, next(tiebreak), link))
-            continue
-        level = max(0.0, current)
-        # freeze every unfrozen flow on this link at `level`
-        for flow in link_flows[link]:
-            if flow in frozen:
+    _SOLVES.inc()
+    with trace_span("maxmin.water_fill_fast", flows=len(flows)):
+        while len(frozen) < len(flows):
+            level, _, link = heapq.heappop(heap)
+            _POPS.inc()
+            if count.get(link, 0) == 0:
+                _STALE.inc()
+                continue  # fully frozen link; stale entry
+            current = residual[link] / count[link]
+            if current > level + 1e-15:
+                _STALE.inc()
+                heapq.heappush(heap, (current, next(tiebreak), link))
                 continue
-            rates[flow] = level
-            frozen.add(flow)
-            for other in routing.links_of(flow):
-                if other in residual:
-                    residual[other] -= level
-                    count[other] -= 1
-                    if count[other] > 0:
-                        heapq.heappush(
-                            heap,
-                            (
-                                max(0.0, residual[other]) / count[other],
-                                next(tiebreak),
-                                other,
-                            ),
-                        )
+            level = max(0.0, current)
+            # freeze every unfrozen flow on this link at `level`
+            for flow in link_flows[link]:
+                if flow in frozen:
+                    continue
+                rates[flow] = level
+                frozen.add(flow)
+                _FREEZES.inc()
+                for other in routing.links_of(flow):
+                    if other in residual:
+                        residual[other] -= level
+                        count[other] -= 1
+                        if count[other] > 0:
+                            heapq.heappush(
+                                heap,
+                                (
+                                    max(0.0, residual[other]) / count[other],
+                                    next(tiebreak),
+                                    other,
+                                ),
+                            )
 
     return Allocation(rates)

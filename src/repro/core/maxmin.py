@@ -39,8 +39,15 @@ from repro.errors import (
 from repro.core.allocation import Allocation, Rate
 from repro.core.flows import Flow
 from repro.core.routing import Link, Routing
+from repro.obs import counter, trace_span
 
 _INF = float("inf")
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_SOLVES = counter("maxmin.solves")
+_ROUNDS = counter("maxmin.rounds")
+_SATURATIONS = counter("maxmin.saturated_links")
+_FREEZES = counter("maxmin.flows_frozen")
 
 __all__ = [
     "UnboundedRateError",
@@ -140,7 +147,36 @@ def max_min_fair(
         link: len(link_flows[link]) for link in finite_links
     }
 
+    _SOLVES.inc()
+    with trace_span(
+        "maxmin.water_fill", flows=len(flows), exact=exact
+    ) as span:
+        rounds = _fill(
+            flows, link_flows, finite_links, routing, rates, frozen,
+            residual, unfrozen_count, zero,
+        )
+        span.set(rounds=rounds)
+
+    return Allocation(rates)
+
+
+def _fill(
+    flows,
+    link_flows: Dict[Link, List[Flow]],
+    finite_links: Dict[Link, Rate],
+    routing: Routing,
+    rates: Dict[Flow, Rate],
+    frozen: Set[Flow],
+    residual: Dict[Link, Rate],
+    unfrozen_count: Dict[Link, int],
+    zero: Rate,
+) -> int:
+    """The water-filling loop; mutates ``rates``/``frozen`` in place and
+    returns the number of rounds (distinct freeze events)."""
+    rounds = 0
     while len(frozen) < len(flows):
+        rounds += 1
+        _ROUNDS.inc()
         # Next saturation level: min over active links of residual/count.
         level: Rate = None
         saturating: List[Link] = []
@@ -169,6 +205,8 @@ def max_min_fair(
             for flow in link_flows[link]:
                 if flow not in frozen:
                     newly_frozen.add(flow)
+        _SATURATIONS.inc(len(saturating))
+        _FREEZES.inc(len(newly_frozen))
         for flow in newly_frozen:
             rates[flow] = level
             frozen.add(flow)
@@ -177,7 +215,7 @@ def max_min_fair(
                     residual[link] -= level
                     unfrozen_count[link] -= 1
 
-    return Allocation(rates)
+    return rounds
 
 
 def max_min_fair_for_network(

@@ -31,8 +31,14 @@ from repro.failures.inject import (
     surviving_network,
     usable_middles,
 )
+from repro.obs import counter, traced
 
 Router = Callable[[ClosNetwork, FlowCollection], Routing]
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_REROUTES = counter("failures.reroutes")
+_SACRIFICES = counter("failures.sacrificed_flows")
+_REPAIR_PASSES = counter("failures.repair_passes")
 
 
 class ResilientRouting(NamedTuple):
@@ -54,6 +60,7 @@ def _default_router(network: ClosNetwork, flows: FlowCollection) -> Routing:
     return greedy_least_congested(network, flows)
 
 
+@traced("failures.route_with_failures")
 def route_with_failures(
     network: ClosNetwork,
     flows: FlowCollection,
@@ -86,6 +93,7 @@ def route_with_failures(
             sacrificed.append(flow)
     if sacrificed and strict:
         raise DisconnectedFlowError(sacrificed)
+    _SACRIFICES.inc(len(sacrificed))
     if not len(connected):
         return ResilientRouting(Routing({}), sacrificed, [], 0)
 
@@ -118,6 +126,7 @@ def route_with_failures(
         if not broken:
             break
         attempts += 1
+        _REPAIR_PASSES.inc()
         for flow in broken:
             options = usable_middles(network, capacities, flow)
             # least-loaded usable middle, lowest index on ties
@@ -126,6 +135,7 @@ def route_with_failures(
             load[best] = load.get(best, 0) + 1
             middles[flow] = best
             rerouted.append(flow)
+            _REROUTES.inc()
 
     still_broken = [
         flow

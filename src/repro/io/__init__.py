@@ -6,7 +6,9 @@ from repro.io.serialize import (
     Scenario,
     ScenarioError,
     read_json,
+    read_jsonl,
     write_json_atomic,
+    write_jsonl_atomic,
 )
 
 __all__ = [
@@ -15,5 +17,7 @@ __all__ = [
     "Scenario",
     "ScenarioError",
     "read_json",
+    "read_jsonl",
     "write_json_atomic",
+    "write_jsonl_atomic",
 ]

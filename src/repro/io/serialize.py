@@ -209,6 +209,52 @@ def read_json(path: str) -> Dict[str, Any]:
             raise ScenarioError(f"invalid JSON in {path}: {error}") from error
 
 
+def write_jsonl_atomic(path: str, records) -> str:
+    """Write an iterable of JSON-safe records as JSONL, atomically.
+
+    One compact JSON document per line (the trace-export format of
+    :mod:`repro.obs`), written via the same rename dance as
+    :func:`write_json_atomic` so a crash never leaves a torn file.
+    Returns ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    handle, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path), suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            for record in records:
+                tmp.write(json.dumps(record, sort_keys=True))
+                tmp.write("\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_jsonl(path: str) -> list:
+    """Load a JSONL file as a list of documents (blank lines skipped)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ScenarioError(
+                    f"invalid JSON on line {line_number} of {path}: {error}"
+                ) from error
+    return records
+
+
 def _rate_to_string(rate) -> str:
     fraction = Fraction(rate)
     return f"{fraction.numerator}/{fraction.denominator}"

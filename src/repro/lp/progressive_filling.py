@@ -27,8 +27,14 @@ from scipy.optimize import linprog
 from repro.core.allocation import Allocation
 from repro.core.flows import Flow
 from repro.core.routing import Link, Routing
+from repro.obs import counter, trace_span
 
 _INF = float("inf")
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_ROUNDS = counter("lp.progressive.rounds")
+_LP_SOLVES = counter("lp.progressive.lp_solves")
+_FORCED = counter("lp.progressive.forced_freezes")
 #: Saturation slack: a flow is frozen when its max individual rate is
 #: within this tolerance of the common level.  Must sit comfortably above
 #: the solver's own optimality tolerance (HiGHS: ~1e-9) or saturated
@@ -69,24 +75,30 @@ def max_min_fair_lp(
     link_rows = _finite_link_rows(routing, capacities, index)
 
     frozen: Dict[Flow, float] = {}
-    while len(frozen) < len(flows):
-        unfrozen = [f for f in flows if f not in frozen]
-        level = _max_common_level(flows, index, link_rows, frozen, unfrozen)
-        newly: Set[Flow] = set()
-        headroom: Dict[Flow, float] = {}
-        for flow in unfrozen:
-            best = _max_single_flow(
-                flows, index, link_rows, frozen, unfrozen, level, flow
-            )
-            headroom[flow] = best
-            if best <= level + _EPS:
-                newly.add(flow)
-        if not newly:
-            # Numerical edge: freeze the most-blocked flow to guarantee
-            # progress (its max rate is closest to the common level).
-            newly = {min(unfrozen, key=lambda f: headroom[f])}
-        for flow in newly:
-            frozen[flow] = level
+    with trace_span("lp.progressive_filling", flows=len(flows)) as span:
+        rounds = 0
+        while len(frozen) < len(flows):
+            rounds += 1
+            _ROUNDS.inc()
+            unfrozen = [f for f in flows if f not in frozen]
+            level = _max_common_level(flows, index, link_rows, frozen, unfrozen)
+            newly: Set[Flow] = set()
+            headroom: Dict[Flow, float] = {}
+            for flow in unfrozen:
+                best = _max_single_flow(
+                    flows, index, link_rows, frozen, unfrozen, level, flow
+                )
+                headroom[flow] = best
+                if best <= level + _EPS:
+                    newly.add(flow)
+            if not newly:
+                # Numerical edge: freeze the most-blocked flow to guarantee
+                # progress (its max rate is closest to the common level).
+                newly = {min(unfrozen, key=lambda f: headroom[f])}
+                _FORCED.inc()
+            for flow in newly:
+                frozen[flow] = level
+        span.set(rounds=rounds)
     return Allocation({f: max(0.0, r) for f, r in frozen.items()})
 
 
@@ -105,6 +117,7 @@ def _max_common_level(flows, index, link_rows, frozen, unfrozen) -> float:
         frozen_load = sum(row[index[f]] * frozen[f] for f in frozen)
         a_ub[row_index, 0] = unfrozen_coeff
         b_ub[row_index] = capacity - frozen_load
+    _LP_SOLVES.inc()
     result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=(0, None), method="highs")
     if not result.success:
         raise LPError(f"common-level LP failed: {result.message}")
@@ -131,6 +144,7 @@ def _max_single_flow(
         rows.append(coeffs)
         b_ub.append(capacity - frozen_load)
     bounds = [(max(0.0, level - _EPS), None)] * n
+    _LP_SOLVES.inc()
     result = linprog(
         c,
         A_ub=np.vstack(rows) if rows else None,

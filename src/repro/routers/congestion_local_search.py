@@ -21,7 +21,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.core.flows import Flow, FlowCollection
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.obs import counter, trace_span
 from repro.routers.greedy import macro_switch_demands
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_ROUNDS = counter("router.congestion_search.rounds")
+_MOVES = counter("router.congestion_search.moves_accepted")
 
 
 def _congestion_profile(
@@ -71,22 +76,25 @@ def local_search_congestion(
 
     middles = dict(initial.middles(network))
     best_profile = _congestion_profile(network, middles, demands)
-    for _ in range(max_rounds):
-        improved = False
-        for flow in list(middles):
-            here = middles[flow]
-            for m in range(1, network.num_middles + 1):
-                if m == here:
-                    continue
-                middles[flow] = m
-                profile = _congestion_profile(network, middles, demands)
-                if profile < best_profile:
-                    best_profile = profile
-                    improved = True
+    with trace_span("router.congestion_search", flows=len(middles)):
+        for _ in range(max_rounds):
+            _ROUNDS.inc()
+            improved = False
+            for flow in list(middles):
+                here = middles[flow]
+                for m in range(1, network.num_middles + 1):
+                    if m == here:
+                        continue
+                    middles[flow] = m
+                    profile = _congestion_profile(network, middles, demands)
+                    if profile < best_profile:
+                        best_profile = profile
+                        improved = True
+                        _MOVES.inc()
+                        break
+                    middles[flow] = here
+                if improved:
                     break
-                middles[flow] = here
-            if improved:
+            if not improved:
                 break
-        if not improved:
-            break
     return Routing.from_middles(network, flows, middles)

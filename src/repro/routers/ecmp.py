@@ -16,6 +16,11 @@ from typing import Dict
 from repro.core.flows import Flow, FlowCollection
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.obs import counter
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_ECMP_DECISIONS = counter("router.ecmp.path_decisions")
+_RANDOM_DECISIONS = counter("router.random.path_decisions")
 
 
 def _flow_hash(flow: Flow, seed: int) -> int:
@@ -38,6 +43,7 @@ def ecmp_routing(
     middles: Dict[Flow, int] = {
         flow: (_flow_hash(flow, seed) % network.num_middles) + 1 for flow in flows
     }
+    _ECMP_DECISIONS.inc(len(middles))
     return Routing.from_middles(network, flows, middles)
 
 
@@ -51,4 +57,5 @@ def random_routing(
     """
     rng = random.Random(seed)
     middles = {flow: rng.randint(1, network.num_middles) for flow in flows}
+    _RANDOM_DECISIONS.inc(len(middles))
     return Routing.from_middles(network, flows, middles)

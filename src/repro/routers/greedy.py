@@ -27,6 +27,10 @@ from repro.core.flows import Flow, FlowCollection
 from repro.core.objectives import macro_switch_max_min
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.obs import counter, trace_span
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_DECISIONS = counter("router.greedy.path_decisions")
 
 
 def check_flows_in_network(network: ClosNetwork, flows: FlowCollection) -> None:
@@ -81,16 +85,18 @@ def greedy_least_congested(
 
     order = sorted(flows, key=lambda f: (-demands[f], f.source, f.dest, f.tag))
     middles: Dict[Flow, int] = {}
-    for flow in order:
-        demand = Fraction(demands[flow])
-        i, o = flow.source.switch, flow.dest.switch
-        best_m, best_congestion = 1, None
-        for m in range(1, n + 1):
-            congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
-            if best_congestion is None or congestion < best_congestion:
-                best_m, best_congestion = m, congestion
-        middles[flow] = best_m
-        up[(i, best_m)] += demand
-        down[(best_m, o)] += demand
+    with trace_span("router.greedy", flows=len(order)):
+        for flow in order:
+            demand = Fraction(demands[flow])
+            i, o = flow.source.switch, flow.dest.switch
+            best_m, best_congestion = 1, None
+            for m in range(1, n + 1):
+                congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
+                if best_congestion is None or congestion < best_congestion:
+                    best_m, best_congestion = m, congestion
+            middles[flow] = best_m
+            _DECISIONS.inc()
+            up[(i, best_m)] += demand
+            down[(best_m, o)] += demand
 
     return Routing.from_middles(network, flows, middles)

@@ -19,7 +19,12 @@ from repro.errors import InfeasibleRoutingError
 from repro.core.flows import Flow, FlowCollection
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.obs import counter
 from repro.routers.greedy import check_flows_in_network, macro_switch_demands
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_DECISIONS = counter("router.two_choice.path_decisions")
+_PROBES = counter("router.two_choice.probes")
 
 
 def two_choice_routing(
@@ -61,10 +66,12 @@ def two_choice_routing(
         candidates = rng.sample(range(1, num_middles + 1), sample_size)
         best_m, best_congestion = None, None
         for m in candidates:
+            _PROBES.inc()
             congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
             if best_congestion is None or congestion < best_congestion:
                 best_m, best_congestion = m, congestion
         middles[flow] = best_m
+        _DECISIONS.inc()
         up[(i, best_m)] += demand
         down[(best_m, o)] += demand
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from io import StringIO
 from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO
 
+from repro import obs
 from repro.errors import ExperimentError, StepFailedError, StepTimeoutError
 from repro.io.serialize import read_json, write_json_atomic
 
@@ -48,6 +49,18 @@ RUNNING = "running"
 OK = "ok"
 FAILED = "failed"
 TIMEOUT = "timeout"
+
+
+def format_bytes(size: int) -> str:
+    """Human-readable byte count (``12.3 KiB``-style, binary units)."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
 
 
 def git_sha() -> str:
@@ -155,9 +168,13 @@ class StepRecord:
     error: Optional[str] = None
     #: Captured stdout of the completed step (replayed on resume).
     output: Optional[str] = None
+    #: Span tree of the step (only when ``repro.obs`` was enabled).
+    trace: Optional[Dict[str, Any]] = None
+    #: Metric activity attributed to the step (only when obs enabled).
+    metrics: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        document = {
             "name": self.name,
             "status": self.status,
             "attempts": self.attempts,
@@ -165,6 +182,13 @@ class StepRecord:
             "error": self.error,
             "output": self.output,
         }
+        # Observability fields appear only when tracing ran, so manifests
+        # written with REPRO_OBS off stay byte-identical to pre-obs ones.
+        if self.trace is not None:
+            document["trace"] = self.trace
+        if self.metrics is not None:
+            document["metrics"] = self.metrics
+        return document
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "StepRecord":
@@ -175,7 +199,21 @@ class StepRecord:
             duration=float(data.get("duration", 0.0)),
             error=data.get("error"),
             output=data.get("output"),
+            trace=data.get("trace"),
+            metrics=data.get("metrics"),
         )
+
+    def peak_memory_bytes(self) -> Optional[int]:
+        """Peak traced memory of the step, if a memory span recorded it."""
+        if self.trace is None:
+            return None
+        return self.trace.get("mem_peak_bytes")
+
+    def span_wall_seconds(self) -> Optional[float]:
+        """Wall time of the step's root span, if one was recorded."""
+        if self.trace is None:
+            return None
+        return self.trace.get("duration_s")
 
 
 class RunManifest:
@@ -315,15 +353,21 @@ class ResilientRunner:
             self._checkpoint()
 
             buffer = StringIO()
+            observing = obs.enabled()
+            metrics_before = obs.metrics_snapshot() if observing else None
+            step_span = None
             try:
                 with redirect_stdout(buffer):
-                    outcome = run_step(
-                        name,
-                        fn,
-                        timeout=self.timeout,
-                        retries=self.retries,
-                        backoff=self.backoff,
-                    )
+                    with obs.trace_span(f"step:{name}") as span:
+                        if observing:
+                            step_span = span
+                        outcome = run_step(
+                            name,
+                            fn,
+                            timeout=self.timeout,
+                            retries=self.retries,
+                            backoff=self.backoff,
+                        )
             except StepTimeoutError as error:
                 record.status = TIMEOUT
                 record.error = str(error)
@@ -341,6 +385,16 @@ class ResilientRunner:
                 record.attempts = outcome.attempts
                 record.duration = outcome.duration
                 record.output = buffer.getvalue()
+                if step_span is not None:
+                    record.trace = step_span.to_dict()
+                    record.metrics = obs.snapshot_delta(
+                        metrics_before, obs.metrics_snapshot()
+                    )
+            finally:
+                if observing:
+                    # Drain the step's root span so the tracer does not
+                    # accumulate one tree per step across a long sweep.
+                    obs.tracer().collect()
 
             if record.status == OK:
                 self.stream.write(record.output or "")
@@ -358,12 +412,16 @@ class ResilientRunner:
     def summary_rows(self) -> List[List[Any]]:
         rows: List[List[Any]] = []
         for record in self.records:
+            span_wall = record.span_wall_seconds()
+            peak = record.peak_memory_bytes()
             rows.append(
                 [
                     record.name,
                     record.status.upper(),
                     record.attempts,
                     f"{record.duration:.2f}s",
+                    "-" if span_wall is None else f"{span_wall:.3f}s",
+                    "-" if peak is None else format_bytes(peak),
                     record.error or "",
                 ]
             )
@@ -373,7 +431,8 @@ class ResilientRunner:
         from repro.analysis import format_table
 
         return format_table(
-            ["step", "status", "attempts", "duration", "error"],
+            ["step", "status", "attempts", "duration", "wall (span)",
+             "peak mem", "error"],
             self.summary_rows(),
             title="run summary",
         )

@@ -30,7 +30,13 @@ from repro.core.flows import FlowCollection
 from repro.core.maxmin import max_min_fair
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.obs import counter, trace_span
 from repro.search.local_search import _is_better, improve_routing
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_PROPOSED = counter("search.anneal.moves_proposed")
+_ACCEPTED = counter("search.anneal.moves_accepted")
+_STARTS = counter("search.multi_start.starts")
 
 
 def _random_routing(
@@ -55,13 +61,15 @@ def multi_start(
         raise ValueError(f"starts must be >= 1, got {starts}")
     rng = random.Random(seed)
     best: Optional[Tuple[Routing, Allocation]] = None
-    for _ in range(starts):
-        start = _random_routing(network, flows, rng)
-        routing, allocation = improve_routing(
-            network, start, objective=objective, exact=exact
-        )
-        if best is None or _is_better(objective, allocation, best[1]):
-            best = (routing, allocation)
+    with trace_span("search.multi_start", starts=starts, objective=objective):
+        for _ in range(starts):
+            _STARTS.inc()
+            start = _random_routing(network, flows, rng)
+            routing, allocation = improve_routing(
+                network, start, objective=objective, exact=exact
+            )
+            if best is None or _is_better(objective, allocation, best[1]):
+                best = (routing, allocation)
     return best
 
 
@@ -108,20 +116,25 @@ def anneal(
 
     temperature = initial_temperature
     flow_list = list(flows)
-    for _ in range(steps):
-        flow = rng.choice(flow_list)
-        move_to = rng.randint(1, network.num_middles)
-        candidate = current.reassigned(network, flow, move_to)
-        candidate_alloc = max_min_fair(candidate, capacities, exact=exact)
+    with trace_span("search.anneal", steps=steps, objective=objective):
+        for _ in range(steps):
+            flow = rng.choice(flow_list)
+            move_to = rng.randint(1, network.num_middles)
+            _PROPOSED.inc()
+            candidate = current.reassigned(network, flow, move_to)
+            candidate_alloc = max_min_fair(candidate, capacities, exact=exact)
 
-        delta = _scalar(objective, candidate_alloc) - _scalar(
-            objective, current_alloc
-        )
-        if delta >= 0 or rng.random() < math.exp(delta / max(temperature, 1e-9)):
-            current, current_alloc = candidate, candidate_alloc
-            if _is_better(objective, current_alloc, best_alloc):
-                best, best_alloc = current, current_alloc
-        temperature *= cooling
+            delta = _scalar(objective, candidate_alloc) - _scalar(
+                objective, current_alloc
+            )
+            if delta >= 0 or rng.random() < math.exp(
+                delta / max(temperature, 1e-9)
+            ):
+                _ACCEPTED.inc()
+                current, current_alloc = candidate, candidate_alloc
+                if _is_better(objective, current_alloc, best_alloc):
+                    best, best_alloc = current, current_alloc
+            temperature *= cooling
 
     polished, polished_alloc = improve_routing(
         network, best, objective=objective, exact=exact

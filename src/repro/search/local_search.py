@@ -25,6 +25,12 @@ from repro.core.allocation import Allocation, lex_compare
 from repro.core.maxmin import max_min_fair
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
+from repro.obs import counter, trace_span
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_ROUNDS = counter("search.local.rounds")
+_PROPOSED = counter("search.local.moves_proposed")
+_ACCEPTED = counter("search.local.moves_accepted")
 
 
 def _is_better(
@@ -64,30 +70,39 @@ def improve_routing(
     best_routing = routing
     best_alloc = max_min_fair(routing, capacities, exact=exact)
     rounds = 0
-    while max_rounds is None or rounds < max_rounds:
-        rounds += 1
-        improved = False
-        current_middles = best_routing.middles(network)
-        for flow in best_routing.flows():
-            here = current_middles[flow]
-            for m in range(1, network.num_middles + 1):
-                if m == here:
-                    continue
-                candidate_routing = best_routing.reassigned(network, flow, m)
-                candidate_alloc = max_min_fair(
-                    candidate_routing, capacities, exact=exact
-                )
-                if _is_better(objective, candidate_alloc, best_alloc):
-                    best_routing = candidate_routing
-                    best_alloc = candidate_alloc
-                    improved = True
-                    if on_improvement is not None:
-                        on_improvement(best_routing, best_alloc)
+    with trace_span(
+        "search.local_search",
+        objective=objective,
+        flows=len(routing.flows()),
+    ) as span:
+        while max_rounds is None or rounds < max_rounds:
+            rounds += 1
+            _ROUNDS.inc()
+            improved = False
+            current_middles = best_routing.middles(network)
+            for flow in best_routing.flows():
+                here = current_middles[flow]
+                for m in range(1, network.num_middles + 1):
+                    if m == here:
+                        continue
+                    _PROPOSED.inc()
+                    candidate_routing = best_routing.reassigned(network, flow, m)
+                    candidate_alloc = max_min_fair(
+                        candidate_routing, capacities, exact=exact
+                    )
+                    if _is_better(objective, candidate_alloc, best_alloc):
+                        best_routing = candidate_routing
+                        best_alloc = candidate_alloc
+                        improved = True
+                        _ACCEPTED.inc()
+                        if on_improvement is not None:
+                            on_improvement(best_routing, best_alloc)
+                        break
+                if improved:
                     break
-            if improved:
+            if not improved:
                 break
-        if not improved:
-            break
+        span.set(rounds=rounds)
     return best_routing, best_alloc
 
 

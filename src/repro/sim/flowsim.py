@@ -16,11 +16,19 @@ from __future__ import annotations
 import math
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
+from repro.obs import counter, trace_span
 from repro.sim.events import EventQueue, load_failure_schedule
 from repro.sim.jobs import FlowJob
 
 #: Completion-time comparisons tolerate this much float drift.
 _TIME_EPS = 1e-9
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_RUNS = counter("sim.runs")
+_EVENTS = counter("sim.events")
+_COMPLETIONS = counter("sim.completions")
+_FAILURES = counter("sim.failures_applied")
+_POLICY_CALLS = counter("sim.policy_consultations")
 
 
 class CompletedJob(NamedTuple):
@@ -84,6 +92,25 @@ def simulate(
     >>> result.completed[0].duration  # size 2 at rate 1
     2.0
     """
+    _RUNS.inc()
+    with trace_span("sim.simulate", jobs=len(jobs)) as span:
+        result = _simulate(jobs, policy, max_time, max_events, failure_schedule)
+        span.set(
+            completed=len(result.completed),
+            unfinished=len(result.unfinished),
+            sim_end_time=result.end_time,
+        )
+    return result
+
+
+def _simulate(
+    jobs: Sequence[FlowJob],
+    policy,
+    max_time: Optional[float],
+    max_events: int,
+    failure_schedule,
+) -> SimulationResult:
+    """The event loop behind :func:`simulate` (same contract)."""
     queue = EventQueue()
     for job in jobs:
         queue.push(job.arrival, "arrival", job)
@@ -134,6 +161,7 @@ def simulate(
             for jid, left in remaining.items()
             if left <= _TIME_EPS and rates.get(jid, 0.0) > 0
         ]
+        _COMPLETIONS.inc(len(finished))
         for jid in finished:
             job = active.pop(jid)
             del remaining[jid]
@@ -154,11 +182,13 @@ def simulate(
         if not active and pending_arrivals == 0:
             break  # only failure events remain; nothing left to serve
         events += 1
+        _EVENTS.inc()
         if events > max_events:
             raise SimulationError(f"exceeded {max_events} events")
         if max_time is not None and now >= max_time:
             break
 
+        _POLICY_CALLS.inc()
         rates = policy.rates(active, remaining, now)
         # Policies may request re-consultation at a future instant (e.g.
         # periodic re-routing) via an optional `next_wakeup(now)` hook.
@@ -199,6 +229,7 @@ def simulate(
                 # Apply every failure landing at this instant in one go,
                 # then re-consult the policy on the degraded fabric.
                 link_factors[event.payload.link] = event.payload.factor
+                _FAILURES.inc()
                 while queue:
                     upcoming = queue.peek()
                     if (
@@ -208,6 +239,7 @@ def simulate(
                         break
                     failure = queue.pop().payload
                     link_factors[failure.link] = failure.factor
+                    _FAILURES.inc()
                 policy.set_link_factors(dict(link_factors))
                 continue
             job = event.payload

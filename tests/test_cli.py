@@ -155,3 +155,81 @@ class TestResilientRun:
 
         assert main(["run", "e1", "--resume", manifest]) == 0
         assert capsys.readouterr().out == first
+
+
+@pytest.fixture
+def obs_off():
+    """Leave the process-wide observability switch off after the test."""
+    from repro import obs
+
+    yield
+    obs.reset()
+    obs.disable()
+
+
+class TestProfileCommand:
+    def test_parser_accepts_profile_options(self):
+        args = build_parser().parse_args(
+            ["profile", "e1", "--trace", "t.jsonl", "--no-memory"]
+        )
+        assert args.command == "profile"
+        assert args.experiment == "e1"
+        assert args.trace == "t.jsonl"
+        assert args.memory is False
+
+    def test_profile_prints_span_tree_and_counters(self, capsys, obs_off):
+        assert main(["profile", "e1", "--no-memory"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "profile:e1" in out
+        assert "maxmin.water_fill" in out
+        assert "maxmin.rounds" in out
+
+    def test_profile_writes_trace_jsonl(self, capsys, obs_off, tmp_path):
+        from repro.io.serialize import read_jsonl
+
+        trace = str(tmp_path / "e1.jsonl")
+        assert main(["profile", "e1", "--no-memory", "--trace", trace]) == 0
+        documents = read_jsonl(trace)
+        assert documents[0]["name"] == "profile:e1"
+
+    def test_profile_leaves_observability_off(self, capsys, obs_off):
+        from repro import obs
+
+        assert main(["profile", "e1", "--no-memory"]) == 0
+        assert obs.enabled() is False
+
+    def test_profile_unknown_experiment_errors(self, capsys):
+        assert main(["profile", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_on_traced_manifest(
+        self, capsys, obs_off, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_OBS", "0")  # manifest flag set explicitly
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        manifest = str(tmp_path / "e1.json")
+        assert main(["run", "e1", "--manifest", manifest]) == 0
+        obs.disable()
+        capsys.readouterr()
+
+        assert main(["stats", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "maxmin.rounds" in out
+
+    def test_stats_on_untraced_manifest_hints(self, capsys, tmp_path):
+        manifest = str(tmp_path / "e1.json")
+        assert main(["run", "e1", "--manifest", manifest]) == 0
+        capsys.readouterr()
+
+        assert main(["stats", manifest]) == 0
+        assert "REPRO_OBS=1" in capsys.readouterr().out
+
+    def test_stats_missing_manifest_errors(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
