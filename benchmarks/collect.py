@@ -1,160 +1,25 @@
-"""Collect the performance baseline: every kernel scenario, traced.
+"""Collect the performance baseline — thin wrapper over ``repro.bench``.
 
-Runs the same scenarios the ``benchmarks/test_bench_*.py`` suite
-exercises — water-filling (exact, float, heap-accelerated), the
-routers, local search, and the flow simulator — under
-:mod:`repro.obs` tracing, and writes ``BENCH_baseline.json``: one
-entry per scenario with best/median wall time over ``--repeat`` runs
-plus the solver counters that explain the cost (water-filling rounds,
-heap pops, router decisions, simulator events).
+The scenario suite, collection loop, and regression gate live in
+:mod:`repro.bench` (also reachable as ``python -m repro bench``); this
+script is kept for the documented invocation::
 
-This file seeds the repo's perf trajectory: future optimisation PRs
-re-run it and diff against the committed baseline, so "made the hot
-path faster" is a measured claim with the counters to prove the work
-didn't change (same rounds, fewer seconds).
+    PYTHONPATH=src python benchmarks/collect.py [-o BENCH_baseline.json]
+    PYTHONPATH=src python benchmarks/collect.py --against BENCH_baseline.json
 
-Run:  PYTHONPATH=src python benchmarks/collect.py [-o BENCH_baseline.json]
+One entry per scenario with best/median wall time over ``--repeat``
+runs plus the solver counters that explain the cost (water-filling
+rounds, heap pops, router decisions, simulator events).  Future
+optimisation PRs run the ``--against`` gate on the committed baseline,
+so "made the hot path faster" is a measured claim with the counters to
+prove the work didn't change (same rounds, fewer seconds).
 """
 
 from __future__ import annotations
 
 import argparse
-import platform
-import statistics
-import sys
-import time
-from typing import Any, Callable, Dict, List
 
-from repro import obs
-from repro.core.maxmin import max_min_fair
-from repro.core.fastmaxmin import max_min_fair_fast
-from repro.core.topology import ClosNetwork
-from repro.io.serialize import write_json_atomic
-from repro.routers.ecmp import ecmp_routing
-from repro.routers.greedy import greedy_least_congested
-from repro.routers.two_choice import two_choice_routing
-from repro.runner import git_sha
-from repro.search.local_search import improve_routing
-from repro.sim.flowsim import simulate
-from repro.sim.jobs import poisson_workload
-from repro.sim.policies import MaxMinCongestionControl
-from repro.workloads.stochastic import permutation, uniform_random
-
-FORMAT_NAME = "repro-bench"
-FORMAT_VERSION = 1
-
-
-def _big_instance():
-    clos = ClosNetwork(8)
-    flows = uniform_random(clos, 400, seed=0)
-    return clos, flows
-
-
-def scenario_example_2_3() -> None:
-    from repro.experiments.example_2_3 import run
-
-    run()
-
-
-def scenario_water_filling_exact() -> None:
-    clos, flows = _big_instance()
-    routing = ecmp_routing(clos, flows)
-    max_min_fair(routing, clos.graph.capacities(), exact=True)
-
-
-def scenario_water_filling_float() -> None:
-    clos, flows = _big_instance()
-    routing = ecmp_routing(clos, flows)
-    max_min_fair(routing, clos.graph.capacities(), exact=False)
-
-
-def scenario_water_filling_fast() -> None:
-    clos, flows = _big_instance()
-    routing = ecmp_routing(clos, flows)
-    max_min_fair_fast(routing, clos.graph.capacities())
-
-
-def scenario_greedy_router() -> None:
-    clos, flows = _big_instance()
-    greedy_least_congested(clos, flows)
-
-
-def scenario_two_choice_router() -> None:
-    clos, flows = _big_instance()
-    two_choice_routing(clos, flows, seed=0)
-
-
-def scenario_local_search() -> None:
-    clos = ClosNetwork(2)
-    flows = permutation(clos, seed=3)
-    improve_routing(clos, ecmp_routing(clos, flows), objective="lex")
-
-
-def scenario_flow_simulation() -> None:
-    clos = ClosNetwork(3)
-    jobs = poisson_workload(clos, rate=2.0, horizon=20.0, seed=0)
-    simulate(jobs, MaxMinCongestionControl(clos))
-
-
-SCENARIOS: Dict[str, Callable[[], None]] = {
-    "example_2_3": scenario_example_2_3,
-    "water_filling_exact": scenario_water_filling_exact,
-    "water_filling_float": scenario_water_filling_float,
-    "water_filling_fast": scenario_water_filling_fast,
-    "greedy_router": scenario_greedy_router,
-    "two_choice_router": scenario_two_choice_router,
-    "local_search": scenario_local_search,
-    "flow_simulation": scenario_flow_simulation,
-}
-
-
-def collect(repeat: int = 3) -> Dict[str, Any]:
-    """Run every scenario ``repeat`` times; return the baseline document.
-
-    Wall times are measured with tracing on but memory tracking off
-    (tracemalloc would distort allocation-heavy kernels); counters come
-    from the final run — they are identical across runs since every
-    scenario is deterministic.
-    """
-    was_enabled = obs.enabled()
-    obs.enable(memory=False)
-    results: Dict[str, Any] = {}
-    try:
-        for name, scenario in SCENARIOS.items():
-            walls: List[float] = []
-            snapshot: Dict[str, Any] = {}
-            for _ in range(repeat):
-                obs.reset()
-                start = time.perf_counter()
-                with obs.trace_span(f"bench:{name}"):
-                    scenario()
-                walls.append(time.perf_counter() - start)
-                snapshot = obs.metrics_snapshot()
-                obs.tracer().collect()
-            results[name] = {
-                "wall_s_best": round(min(walls), 6),
-                "wall_s_median": round(statistics.median(walls), 6),
-                "repeat": repeat,
-                "metrics": snapshot,
-            }
-            print(
-                f"{name}: best {results[name]['wall_s_best']}s "
-                f"median {results[name]['wall_s_median']}s",
-                file=sys.stderr,
-            )
-    finally:
-        obs.reset()
-        if not was_enabled:
-            obs.disable()
-
-    return {
-        "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
-        "git_sha": git_sha(),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "scenarios": results,
-    }
+from repro.bench import bench_command
 
 
 def main(argv=None) -> int:
@@ -167,11 +32,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeat", type=int, default=3, help="runs per scenario (default 3)"
     )
+    parser.add_argument(
+        "--against",
+        metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed median slowdown vs the baseline (0.25 = 25%%)",
+    )
     args = parser.parse_args(argv)
-    document = collect(repeat=args.repeat)
-    write_json_atomic(args.output, document)
-    print(f"wrote {args.output}")
-    return 0
+    return bench_command(
+        output=args.output,
+        repeat=args.repeat,
+        against=args.against,
+        tolerance=args.tolerance,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,262 @@
+"""Micro-benchmark suite and regression gate (``repro bench``).
+
+Runs the repo's kernel scenarios — water-filling (exact, float,
+heap-accelerated), the routers, local search, and the flow simulator —
+under :mod:`repro.obs` tracing and reports best/median wall time per
+scenario plus the solver counters that explain the cost (water-filling
+rounds, heap pops, router decisions, simulator events).
+
+Two modes:
+
+- **collect** (``repro bench -o BENCH_pr.json``): write a results
+  document in the same format as the committed ``BENCH_baseline.json``.
+- **gate** (``repro bench --against BENCH_baseline.json``): compare
+  against a baseline and *fail* (exit 1) when any scenario's median
+  wall time regresses by more than ``--tolerance`` (default 25%).
+  Speedups are reported alongside, so "made the hot path faster" is a
+  measured claim — and the counters prove the work didn't change
+  (same rounds, fewer seconds).
+
+``benchmarks/collect.py`` is a thin wrapper over this module kept for
+the documented ``python benchmarks/collect.py`` invocation.
+"""
+
+from __future__ import annotations
+
+import platform
+import statistics
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.core.maxmin import max_min_fair
+from repro.core.fastmaxmin import max_min_fair_fast
+from repro.core.topology import ClosNetwork
+from repro.io.serialize import write_json_atomic
+from repro.routers.ecmp import ecmp_routing
+from repro.routers.greedy import greedy_least_congested
+from repro.routers.two_choice import two_choice_routing
+from repro.runner import git_sha
+from repro.search.local_search import improve_routing
+from repro.sim.flowsim import simulate
+from repro.sim.jobs import poisson_workload
+from repro.sim.policies import MaxMinCongestionControl
+from repro.workloads.stochastic import permutation, uniform_random
+
+FORMAT_NAME = "repro-bench"
+FORMAT_VERSION = 1
+
+__all__ = [
+    "SCENARIOS",
+    "bench_command",
+    "collect",
+    "compare",
+    "format_comparison",
+]
+
+
+def _big_instance():
+    clos = ClosNetwork(8)
+    flows = uniform_random(clos, 400, seed=0)
+    return clos, flows
+
+
+def scenario_example_2_3() -> None:
+    from repro.experiments.example_2_3 import run
+
+    run()
+
+
+def scenario_water_filling_exact() -> None:
+    clos, flows = _big_instance()
+    routing = ecmp_routing(clos, flows)
+    max_min_fair(routing, clos.graph.capacities(), exact=True)
+
+
+def scenario_water_filling_float() -> None:
+    clos, flows = _big_instance()
+    routing = ecmp_routing(clos, flows)
+    max_min_fair(routing, clos.graph.capacities(), exact=False)
+
+
+def scenario_water_filling_fast() -> None:
+    clos, flows = _big_instance()
+    routing = ecmp_routing(clos, flows)
+    max_min_fair_fast(routing, clos.graph.capacities())
+
+
+def scenario_greedy_router() -> None:
+    clos, flows = _big_instance()
+    greedy_least_congested(clos, flows)
+
+
+def scenario_two_choice_router() -> None:
+    clos, flows = _big_instance()
+    two_choice_routing(clos, flows, seed=0)
+
+
+def scenario_local_search() -> None:
+    clos = ClosNetwork(2)
+    flows = permutation(clos, seed=3)
+    improve_routing(clos, ecmp_routing(clos, flows), objective="lex")
+
+
+def scenario_flow_simulation() -> None:
+    clos = ClosNetwork(3)
+    jobs = poisson_workload(clos, rate=2.0, horizon=20.0, seed=0)
+    simulate(jobs, MaxMinCongestionControl(clos))
+
+
+SCENARIOS: Dict[str, Callable[[], None]] = {
+    "example_2_3": scenario_example_2_3,
+    "water_filling_exact": scenario_water_filling_exact,
+    "water_filling_float": scenario_water_filling_float,
+    "water_filling_fast": scenario_water_filling_fast,
+    "greedy_router": scenario_greedy_router,
+    "two_choice_router": scenario_two_choice_router,
+    "local_search": scenario_local_search,
+    "flow_simulation": scenario_flow_simulation,
+}
+
+
+def collect(repeat: int = 3) -> Dict[str, Any]:
+    """Run every scenario ``repeat`` times; return the results document.
+
+    Wall times are measured with tracing on but memory tracking off
+    (tracemalloc would distort allocation-heavy kernels); counters come
+    from the final run — they are identical across runs since every
+    scenario is deterministic.
+    """
+    was_enabled = obs.enabled()
+    obs.enable(memory=False)
+    results: Dict[str, Any] = {}
+    try:
+        for name, scenario in SCENARIOS.items():
+            walls: List[float] = []
+            snapshot: Dict[str, Any] = {}
+            for _ in range(repeat):
+                obs.reset()
+                start = time.perf_counter()
+                with obs.trace_span(f"bench:{name}"):
+                    scenario()
+                walls.append(time.perf_counter() - start)
+                snapshot = obs.metrics_snapshot()
+                obs.tracer().collect()
+            results[name] = {
+                "wall_s_best": round(min(walls), 6),
+                "wall_s_median": round(statistics.median(walls), 6),
+                "repeat": repeat,
+                "metrics": snapshot,
+            }
+            print(
+                f"{name}: best {results[name]['wall_s_best']}s "
+                f"median {results[name]['wall_s_median']}s",
+                file=sys.stderr,
+            )
+    finally:
+        obs.reset()
+        if not was_enabled:
+            obs.disable()
+
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": results,
+    }
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.25,
+) -> List[Dict[str, Any]]:
+    """Per-scenario median comparison of ``current`` against ``baseline``.
+
+    Returns one row per scenario present in either document with keys
+    ``scenario``, ``baseline_s``, ``current_s``, ``speedup`` (baseline /
+    current; > 1 is faster), and ``regressed`` (current median more than
+    ``tolerance`` slower than baseline).  Scenarios missing on one side
+    are reported with ``None`` medians and never flagged as regressed.
+    """
+    base = baseline.get("scenarios", {})
+    curr = current.get("scenarios", {})
+    rows: List[Dict[str, Any]] = []
+    for name in list(base) + [n for n in curr if n not in base]:
+        base_median = base.get(name, {}).get("wall_s_median")
+        curr_median = curr.get(name, {}).get("wall_s_median")
+        speedup = None
+        regressed = False
+        if base_median and curr_median:
+            speedup = base_median / curr_median
+            regressed = curr_median > base_median * (1.0 + tolerance)
+        rows.append(
+            {
+                "scenario": name,
+                "baseline_s": base_median,
+                "current_s": curr_median,
+                "speedup": speedup,
+                "regressed": regressed,
+            }
+        )
+    return rows
+
+
+def format_comparison(rows: List[Dict[str, Any]], tolerance: float) -> str:
+    """A printable table of :func:`compare` rows."""
+    from repro.analysis import format_table
+
+    def fmt(value: Optional[float], pattern: str) -> str:
+        return "-" if value is None else pattern.format(value)
+
+    return format_table(
+        ["scenario", "baseline", "current", "speedup", "status"],
+        [
+            [
+                row["scenario"],
+                fmt(row["baseline_s"], "{:.4f}s"),
+                fmt(row["current_s"], "{:.4f}s"),
+                fmt(row["speedup"], "{:.2f}x"),
+                "REGRESSED" if row["regressed"] else "ok",
+            ]
+            for row in rows
+        ],
+        title=f"bench — medians vs baseline (tolerance {tolerance:.0%})",
+    )
+
+
+def bench_command(
+    output: Optional[str] = None,
+    repeat: int = 5,
+    against: Optional[str] = None,
+    tolerance: float = 0.25,
+) -> int:
+    """The ``repro bench`` subcommand; returns the process exit code."""
+    import json
+
+    document = collect(repeat=repeat)
+    if output:
+        write_json_atomic(output, document)
+        print(f"wrote {output}")
+    if against is None:
+        return 0
+
+    try:
+        with open(against, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline: {error}", file=sys.stderr)
+        return 2
+
+    rows = compare(document, baseline, tolerance=tolerance)
+    print(format_comparison(rows, tolerance))
+    regressions = [row for row in rows if row["regressed"]]
+    if regressions:
+        names = ", ".join(row["scenario"] for row in regressions)
+        print(f"regression gate FAILED: {names}", file=sys.stderr)
+        return 1
+    print("regression gate passed")
+    return 0

@@ -5,7 +5,13 @@ Usage::
     python -m repro list                 # show available experiments
     python -m repro run e1               # Figure 1 / Example 2.3 (e1..e16)
     python -m repro run e2 --ks 1,2,4,8  # R1 sweep with custom k values
+    python -m repro run e4 --jobs 4      # sweep points across 4 processes
     python -m repro run all              # everything (minutes)
+    python -m repro bench --against BENCH_baseline.json  # perf gate
+
+``--jobs N`` computes sweep points in ``N`` worker processes
+(``--jobs 0`` = all cores).  Results — tables, manifests, exit codes —
+are identical to a sequential run; see :mod:`repro.parallel`.
 
 Each experiment prints the same measured-vs-paper table its benchmark
 target prints, so the CLI is the interactive face of the harness.
@@ -68,7 +74,7 @@ def run_e2(args: argparse.Namespace) -> None:
     from repro.experiments.r1_price_of_fairness import sweep
 
     ks = _parse_ints(args.ks) if args.ks else [1, 2, 4, 8, 16, 32, 64]
-    rows = sweep(ks)
+    rows = sweep(ks, jobs=getattr(args, "jobs", 1))
     print(
         format_series(
             "k",
@@ -88,7 +94,7 @@ def run_e3(args: argparse.Namespace) -> None:
     from repro.experiments.r2_starvation import infeasibility_sweep
 
     sizes = _parse_ints(args.sizes) if args.sizes else [3]
-    rows = infeasibility_sweep(sizes)
+    rows = infeasibility_sweep(sizes, jobs=getattr(args, "jobs", 1))
     print(
         format_table(
             ["n", "flows", "splittable", "unsplittable"],
@@ -110,7 +116,9 @@ def run_e4(args: argparse.Namespace) -> None:
     from repro.experiments.r2_starvation import starvation_sweep
 
     sizes = _parse_ints(args.sizes) if args.sizes else [3, 4, 5, 6]
-    rows = starvation_sweep(sizes, check_local_optimality=False)
+    rows = starvation_sweep(
+        sizes, check_local_optimality=False, jobs=getattr(args, "jobs", 1)
+    )
     print(
         format_series(
             "n",
@@ -128,7 +136,7 @@ def run_e4(args: argparse.Namespace) -> None:
 def run_e5(args: argparse.Namespace) -> None:
     from repro.experiments.r3_doom_switch import sweep
 
-    rows = sweep()
+    rows = sweep(jobs=getattr(args, "jobs", 1))
     print(
         format_series(
             "(n,k)",
@@ -233,7 +241,7 @@ def run_e9(args: argparse.Namespace) -> None:
 def run_e11(args: argparse.Namespace) -> None:
     from repro.experiments.convergence import paper_instances
 
-    rows = paper_instances()
+    rows = paper_instances(jobs=getattr(args, "jobs", 1))
     print(
         format_table(
             ["instance", "flows", "levels", "rounds", "max error"],
@@ -303,7 +311,7 @@ def run_e14(args: argparse.Namespace) -> None:
 def run_e15(args: argparse.Namespace) -> None:
     from repro.experiments.oversubscription import sweep
 
-    rows = sweep()
+    rows = sweep(jobs=getattr(args, "jobs", 1))
     print(
         format_table(
             ["c", "oversub", "T^MT", "T Clos", "Lemma 5.2", "tput frac", "worst ratio"],
@@ -444,6 +452,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="skip tracemalloc peak-memory accounting (faster)",
     )
+    profile.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (counters from workers "
+        "are not collected; profile with the default of 1)",
+    )
 
     stats = sub.add_parser(
         "stats",
@@ -456,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ks", help="comma-separated k values (e2)")
     run.add_argument("--sizes", help="comma-separated network sizes (e3/e4)")
     run.add_argument("--n", type=int, help="network size (e6)")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (0 = all cores; "
+        "results are identical to --jobs 1, just faster)",
+    )
     run.add_argument(
         "--timeout",
         type=float,
@@ -496,6 +518,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="stop at the first failing experiment",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the micro-benchmark suite; optionally gate on a baseline",
+    )
+    bench.add_argument(
+        "-o", "--output", help="write results to this JSON file"
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=5, help="timed runs per scenario"
+    )
+    bench.add_argument(
+        "--against",
+        metavar="BASELINE",
+        help="compare against a baseline JSON; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed median slowdown vs the baseline (0.25 = 25%%)",
+    )
     return parser
 
 
@@ -529,6 +573,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "stats":
         return _stats_command(args)
+
+    if args.command == "bench":
+        from repro.bench import bench_command
+
+        return bench_command(
+            output=args.output,
+            repeat=args.repeat,
+            against=args.against,
+            tolerance=args.tolerance,
+        )
 
     parser.print_help()
     return 2
@@ -729,16 +783,21 @@ def _run_command(args: argparse.Namespace) -> int:
             return 2
         names = manifest.experiments or names
     elif manifest_path:
+        params = {
+            "ks": args.ks,
+            "sizes": args.sizes,
+            "n": args.n,
+            "timeout": args.timeout,
+            "retries": args.retries,
+        }
+        # Only record a non-default --jobs: parallelism does not change
+        # results, and default-run manifests stay byte-identical to
+        # manifests written before the knob existed.
+        jobs = getattr(args, "jobs", 1)
+        if jobs != 1:
+            params["jobs"] = jobs
         manifest = RunManifest(
-            manifest_path,
-            experiments=names,
-            params={
-                "ks": args.ks,
-                "sizes": args.sizes,
-                "n": args.n,
-                "timeout": args.timeout,
-                "retries": args.retries,
-            },
+            manifest_path, experiments=names, params=params
         )
 
     def step(key: str) -> None:

@@ -11,7 +11,7 @@ rates) and with an explicit tolerance (for float rates).
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.flows import Flow
 from repro.core.routing import Routing
@@ -36,6 +36,11 @@ class Allocation:
             if rate < 0:
                 raise ValueError(f"negative rate {rate!r} for flow {flow!r}")
         self._rates: Dict[Flow, Rate] = dict(rates)
+        # Sorted vector and throughput, computed once on demand:
+        # allocations are immutable, and the search layers compare the
+        # same incumbent's sorted vector against every candidate.
+        self._sorted: Optional[Tuple[Rate, ...]] = None
+        self._throughput: Optional[Rate] = None
 
     def rate(self, flow: Flow) -> Rate:
         """The rate assigned to ``flow``."""
@@ -62,11 +67,15 @@ class Allocation:
 
     def throughput(self) -> Rate:
         """Total rate over all flows — ``t(a)`` in the paper."""
-        return sum(self._rates.values())
+        if self._throughput is None:
+            self._throughput = sum(self._rates.values())
+        return self._throughput
 
     def sorted_vector(self) -> List[Rate]:
         """Rates sorted from lowest to highest — ``a↑`` in the paper."""
-        return sorted(self._rates.values())
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._rates.values()))
+        return list(self._sorted)
 
     def as_float(self) -> "Allocation":
         """A copy with every rate converted to float."""

@@ -1,0 +1,180 @@
+"""Memoized max-min fair allocations keyed by routing fingerprint.
+
+The search layers (:mod:`repro.search.local_search`,
+:mod:`repro.search.annealing`, and the enumeration-backed objective
+solvers) revisit routings: a hill-climb's final pass re-probes every
+neighbor it already evaluated, an annealing walk wanders back to recent
+states, and ``is_local_optimum`` re-checks the exact moves the climb
+just rejected.  Every revisit used to pay a full water-filling solve.
+
+:class:`AllocationCache` is a small LRU keyed on ``(routing
+fingerprint, capacities identity, exact)``.  The fingerprint
+(:meth:`repro.core.routing.Routing.fingerprint`) is canonical, so two
+differently-built but equal routings share an entry.  Capacities are
+keyed by *object identity* — the cache holds a reference to the
+capacities mapping in each entry, so the id cannot be recycled while
+the entry lives; callers that mutate a capacities dict in place must
+use a fresh dict (every ``graph.capacities()`` call already returns a
+copy).
+
+Cached :class:`~repro.core.allocation.Allocation` objects are shared,
+not copied — treat them as immutable (every consumer in this library
+does).
+
+Hit/miss/eviction counts are exposed both as instance attributes
+(always maintained; see :meth:`AllocationCache.stats`) and through the
+``cache.alloc.*`` counters in :mod:`repro.obs` when observability is
+enabled.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.allocation import Allocation, Rate
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Link, Routing
+from repro.obs import counter
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_HITS = counter("cache.alloc.hits")
+_MISSES = counter("cache.alloc.misses")
+_EVICTIONS = counter("cache.alloc.evictions")
+
+#: The canonical routing fingerprint type (see ``Routing.fingerprint``).
+Fingerprint = Tuple
+
+#: Default number of allocations retained.  A Clos local-search round
+#: probes ``|F| · (n − 1)`` neighbors; 4096 comfortably holds several
+#: rounds of the largest instances the searches run on.
+DEFAULT_MAXSIZE = 4096
+
+
+class AllocationCache:
+    """An LRU cache of max-min fair allocations.
+
+    >>> from repro.core.topology import ClosNetwork
+    >>> from repro.core.flows import FlowCollection, Flow
+    >>> clos = ClosNetwork(2)
+    >>> flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(3, 1))])
+    >>> routing = Routing.from_middles(clos, flows, {flows[0]: 1})
+    >>> capacities = clos.graph.capacities()
+    >>> cache = AllocationCache()
+    >>> first = cache.solve(routing, capacities)
+    >>> cache.solve(routing, capacities) is first  # second call is a hit
+    True
+    >>> cache.stats()["hits"], cache.stats()["misses"]
+    (1, 1)
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        # key -> (capacities ref, allocation); the capacities reference
+        # pins the id() used in the key for the entry's lifetime.
+        self._entries: "OrderedDict[Tuple, Tuple[Any, Allocation]]" = (
+            OrderedDict()
+        )
+        # id(network) -> (network ref, its capacities mapping): one
+        # capacities identity per network, so solves routed through this
+        # cache from different call sites share entries.
+        self._network_caps: Dict[int, Tuple[Any, Mapping[Link, Rate]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def capacities_for(self, network: Any) -> Mapping[Link, Rate]:
+        """A memoized ``network.graph.capacities()`` mapping.
+
+        ``graph.capacities()`` returns a *fresh* dict on every call, and
+        cache keys include the capacities object's identity — so two
+        searches that each built their own copy would never share
+        entries.  Routing capacity lookups through the cache gives every
+        consumer of the same network the same mapping (and the cache's
+        reference pins its id).  Treat the returned mapping as read-only.
+        """
+        key = id(network)
+        entry = self._network_caps.get(key)
+        if entry is None or entry[0] is not network:
+            entry = (network, network.graph.capacities())
+            self._network_caps[key] = entry
+        return entry[1]
+
+    @staticmethod
+    def _key(
+        fingerprint: Fingerprint, capacities: Mapping[Link, Rate], exact: bool
+    ) -> Tuple:
+        return (fingerprint, id(capacities), bool(exact))
+
+    def get(
+        self,
+        fingerprint: Fingerprint,
+        capacities: Mapping[Link, Rate],
+        exact: bool = True,
+    ) -> Optional[Allocation]:
+        """The cached allocation for this key, or ``None`` (marks a miss)."""
+        key = self._key(fingerprint, capacities, exact)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            _MISSES.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        _HITS.inc()
+        return entry[1]
+
+    def put(
+        self,
+        fingerprint: Fingerprint,
+        capacities: Mapping[Link, Rate],
+        exact: bool,
+        allocation: Allocation,
+    ) -> Allocation:
+        """Store ``allocation`` under this key, evicting LRU entries."""
+        key = self._key(fingerprint, capacities, exact)
+        self._entries[key] = (capacities, allocation)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            _EVICTIONS.inc()
+        return allocation
+
+    def solve(
+        self,
+        routing: Routing,
+        capacities: Mapping[Link, Rate],
+        exact: bool = True,
+    ) -> Allocation:
+        """``max_min_fair(routing, capacities, exact)``, memoized."""
+        fingerprint = routing.fingerprint()
+        found = self.get(fingerprint, capacities, exact)
+        if found is not None:
+            return found
+        allocation = max_min_fair(routing, capacities, exact=exact)
+        return self.put(fingerprint, capacities, exact, allocation)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/size counters for this cache instance."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -14,6 +14,14 @@ Implementation notes:
   saturate: ``(capacity − frozen rate on the link) / #unfrozen flows on
   the link``.  The minimum of these over all links is the next freeze
   level.
+- The next freeze level is selected with a lazy-deletion min-heap of
+  per-link saturation levels rather than an O(links) scan per round.
+  Lazy deletion is sound because freezing flows can only *raise* a
+  link's saturation level: a popped stale entry is always ≤ the link's
+  true level and can be re-pushed without missing the global minimum.
+  Freeze levels therefore come out in non-decreasing order, and the
+  reported round count is the number of distinct levels — the same
+  quantity the historical per-round min-scan reported.
 - The algorithm is generic over the rate type.  With ``exact=True``
   capacities are coerced to :class:`fractions.Fraction` and the result is
   exact — this is what every theorem-verification path uses, since the
@@ -28,7 +36,10 @@ Implementation notes:
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from fractions import Fraction
+from math import gcd
 from typing import Dict, List, Mapping, Set, Tuple, Union
 
 from repro.errors import (
@@ -139,12 +150,14 @@ def max_min_fair(
 
     zero: Rate = Fraction(0) if exact else 0.0
     rates: Dict[Flow, Rate] = {f: zero for f in flows}
-    frozen: Set[Flow] = set()
     # Per finite link: residual capacity after frozen flows, count of
     # unfrozen flows.  Both are maintained incrementally.
     residual: Dict[Link, Rate] = dict(finite_links)
     unfrozen_count: Dict[Link, int] = {
         link: len(link_flows[link]) for link in finite_links
+    }
+    flow_links: Dict[Flow, List[Link]] = {
+        f: routing.links_of(f) for f in flows
     }
 
     _SOLVES.inc()
@@ -152,68 +165,201 @@ def max_min_fair(
         "maxmin.water_fill", flows=len(flows), exact=exact
     ) as span:
         rounds = _fill(
-            flows, link_flows, finite_links, routing, rates, frozen,
-            residual, unfrozen_count, zero,
+            flows, link_flows, flow_links, rates, residual, unfrozen_count,
+            zero,
         )
         span.set(rounds=rounds)
 
     return Allocation(rates)
 
 
+class _Rat:
+    """A minimal unnormalized rational used as a heap key.
+
+    :class:`~fractions.Fraction` pays gcd normalization on construction
+    and ABC dispatch on every comparison — per profile, most of the
+    exact-mode water-fill.  Heap keys only ever need ``<`` (and ties
+    fall through to the tiebreak counter), so a bare cross-multiplied
+    comparison on a slotted pair suffices.  Denominators are positive by
+    construction.
+    """
+
+    __slots__ = ("n", "d")
+
+    def __init__(self, n: int, d: int) -> None:
+        self.n = n
+        self.d = d
+
+    def __lt__(self, other: "_Rat") -> bool:
+        return self.n * other.d < other.n * self.d
+
+
 def _fill(
     flows,
-    link_flows: Dict[Link, List[Flow]],
-    finite_links: Dict[Link, Rate],
-    routing: Routing,
+    link_flows: Mapping[Link, List[Flow]],
+    flow_links: Mapping[Flow, List[Link]],
     rates: Dict[Flow, Rate],
-    frozen: Set[Flow],
     residual: Dict[Link, Rate],
     unfrozen_count: Dict[Link, int],
     zero: Rate,
 ) -> int:
-    """The water-filling loop; mutates ``rates``/``frozen`` in place and
-    returns the number of rounds (distinct freeze events)."""
+    """The water-filling loop; mutates ``rates`` (and the bookkeeping
+    dicts) in place and returns the number of rounds (distinct freeze
+    levels).
+
+    Saturation levels are tracked in a lazy-deletion min-heap.  An entry
+    is stale when the link has fully frozen (count 0) or when freezes
+    since the push raised its level; in the latter case the current
+    level is re-pushed.  Because freezing can never *lower* a link's
+    level, the popped minimum is always trustworthy once fresh, and the
+    sequence of freeze levels is non-decreasing — the allocation is the
+    same (exactly, in ``Fraction`` mode) as the historical per-round
+    min-scan computed.
+
+    Exact mode runs on raw numerator/denominator integer pairs and
+    builds one normalized :class:`~fractions.Fraction` per freeze level;
+    the resulting rates are identical (``Fraction`` normalizes on
+    construction) at a fraction of the arithmetic cost.
+    """
+    if isinstance(zero, Fraction):
+        return _fill_exact(
+            flows, link_flows, flow_links, rates, residual, unfrozen_count
+        )
+    return _fill_generic(
+        flows, link_flows, flow_links, rates, residual, unfrozen_count, zero
+    )
+
+
+def _fill_exact(
+    flows,
+    link_flows: Mapping[Link, List[Flow]],
+    flow_links: Mapping[Flow, List[Link]],
+    rates: Dict[Flow, Rate],
+    residual: Dict[Link, Rate],
+    unfrozen_count: Dict[Link, int],
+) -> int:
+    """Exact-mode water-fill over integer numerator/denominator pairs."""
+    # Rate values here are Fractions (or ints), both of which expose
+    # numerator/denominator directly — no wrapping needed.
+    rnum: Dict[Link, int] = {}
+    rden: Dict[Link, int] = {}
+    for link, capacity in residual.items():
+        rnum[link] = capacity.numerator
+        rden[link] = capacity.denominator
+
+    # (level, tiebreak, link): links are heterogeneous tuples that do
+    # not compare with each other, so a counter breaks level ties.
+    tiebreak = itertools.count()
+    heap: List[Tuple] = [
+        (_Rat(rnum[link], rden[link] * count), next(tiebreak), link)
+        for link, count in unfrozen_count.items()
+        if count
+    ]
+    heapq.heapify(heap)
+
+    frozen: Set[Flow] = set()
     rounds = 0
+    last_n, last_d = None, 1
     while len(frozen) < len(flows):
-        rounds += 1
-        _ROUNDS.inc()
-        # Next saturation level: min over active links of residual/count.
-        level: Rate = None
-        saturating: List[Link] = []
-        for link, count in unfrozen_count.items():
-            if count == 0:
-                continue
-            candidate = residual[link] / count
-            if level is None or candidate < level:
-                level = candidate
-                saturating = [link]
-            elif candidate == level:
-                saturating.append(link)
-        if level is None:
+        if not heap:
             # All remaining flows cross only saturated... cannot happen:
             # every unfrozen flow sits on at least one finite link with
             # a positive unfrozen count (itself).
             raise AssertionError("water-filling invariant violated")
-        if level < zero:
-            # Float rounding can leave a residual at -1e-16; clamp so the
-            # resulting rates stay non-negative.  Never triggers in exact mode.
-            level = zero
+        level, _, link = heapq.heappop(heap)
+        count = unfrozen_count[link]
+        if count == 0:
+            continue  # stale: the link fully froze after the push
+        cn, cd = rnum[link], rden[link] * count
+        if cn * level.d > level.n * cd:
+            # Stale: freezes since the push raised this link's level.
+            heapq.heappush(heap, (_Rat(cn, cd), next(tiebreak), link))
+            continue
 
-        # Freeze every unfrozen flow on a saturating link at `level`.
-        newly_frozen: Set[Flow] = set()
-        for link in saturating:
-            for flow in link_flows[link]:
-                if flow not in frozen:
-                    newly_frozen.add(flow)
-        _SATURATIONS.inc(len(saturating))
+        if last_n is None or cn * last_d > last_n * cd:
+            rounds += 1
+            _ROUNDS.inc()
+            last_n, last_d = cn, cd
+            # One normalized Fraction per distinct level; consecutive
+            # saturations at the same level (levels are non-decreasing)
+            # reuse it.
+            current = Fraction(cn, cd)
+            curn, curd = current.numerator, current.denominator
+        _SATURATIONS.inc()
+        newly_frozen = [f for f in link_flows[link] if f not in frozen]
         _FREEZES.inc(len(newly_frozen))
         for flow in newly_frozen:
-            rates[flow] = level
+            rates[flow] = current
             frozen.add(flow)
-            for link in routing.links_of(flow):
-                if link in finite_links:
-                    residual[link] -= level
-                    unfrozen_count[link] -= 1
+            for other in flow_links[flow]:
+                if other in rnum:
+                    n = rnum[other] * curd - curn * rden[other]
+                    d = rden[other] * curd
+                    g = gcd(n, d)
+                    if g > 1:
+                        n //= g
+                        d //= g
+                    rnum[other] = n
+                    rden[other] = d
+                    unfrozen_count[other] -= 1
+
+    return rounds
+
+
+def _fill_generic(
+    flows,
+    link_flows: Mapping[Link, List[Flow]],
+    flow_links: Mapping[Flow, List[Link]],
+    rates: Dict[Flow, Rate],
+    residual: Dict[Link, Rate],
+    unfrozen_count: Dict[Link, int],
+    zero: Rate,
+) -> int:
+    """Float-mode (or custom numeric) water-fill on the rate type itself."""
+    tiebreak = itertools.count()
+    heap: List[Tuple] = [
+        (residual[link] / count, next(tiebreak), link)
+        for link, count in unfrozen_count.items()
+        if count
+    ]
+    heapq.heapify(heap)
+
+    frozen: Set[Flow] = set()
+    rounds = 0
+    last_level: Rate = None
+    while len(frozen) < len(flows):
+        if not heap:
+            raise AssertionError("water-filling invariant violated")
+        level, _, link = heapq.heappop(heap)
+        count = unfrozen_count[link]
+        if count == 0:
+            continue  # stale: the link fully froze after the push
+        current = residual[link] / count
+        if current > level:
+            # Stale: freezes since the push raised this link's level.
+            heapq.heappush(heap, (current, next(tiebreak), link))
+            continue
+        if current < zero:
+            # Float rounding can leave a residual at -1e-16; clamp so the
+            # resulting rates stay non-negative.
+            current = zero
+
+        if last_level is None or current > last_level:
+            rounds += 1
+            _ROUNDS.inc()
+            last_level = current
+        _SATURATIONS.inc()
+
+        # Freeze every unfrozen flow on the saturating link at `current`.
+        newly_frozen = [f for f in link_flows[link] if f not in frozen]
+        _FREEZES.inc(len(newly_frozen))
+        for flow in newly_frozen:
+            rates[flow] = current
+            frozen.add(flow)
+            for other in flow_links[flow]:
+                if other in residual:
+                    residual[other] -= current
+                    unfrozen_count[other] -= 1
 
     return rounds
 

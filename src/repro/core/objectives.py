@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import NamedTuple, Optional
 
 from repro.core.allocation import Allocation, lex_compare
+from repro.core.cache import AllocationCache
 from repro.core.flows import FlowCollection
 from repro.core.maxmin import max_min_fair
 from repro.core.routing import Routing
@@ -53,6 +54,7 @@ def lex_max_min_fair(
     flows: FlowCollection,
     exact: bool = True,
     use_symmetry: bool = True,
+    cache: Optional[AllocationCache] = None,
 ) -> OptimalAllocation:
     """``a^{L-MmF}``: an exact lex-max-min fair allocation (Definition 2.4).
 
@@ -61,10 +63,18 @@ def lex_max_min_fair(
     incumbent reaches the macro-switch max-min sorted vector, which
     upper-bounds every Clos routing's vector (§2.3) — on instances where
     the macro abstraction *is* attainable this prunes most of the space.
+
+    Pass ``cache`` to share solved allocations with a sibling sweep over
+    the same instance (e.g. the throughput objective enumerates the same
+    orbit representatives).
     """
     if not len(flows):
         raise ValueError("cannot optimize over an empty flow collection")
-    capacities = network.graph.capacities()
+    capacities = (
+        network.graph.capacities()
+        if cache is None
+        else cache.capacities_for(network)
+    )
     macro_bound = macro_switch_max_min(
         MacroSwitch(network.n), flows, exact=exact
     ).sorted_vector()
@@ -72,7 +82,10 @@ def lex_max_min_fair(
     examined = 0
     for routing in enumerate_routings(network, flows, use_symmetry=use_symmetry):
         examined += 1
-        allocation = max_min_fair(routing, capacities, exact=exact)
+        if cache is None:
+            allocation = max_min_fair(routing, capacities, exact=exact)
+        else:
+            allocation = cache.solve(routing, capacities, exact=exact)
         if best is None or (
             lex_compare(
                 allocation.sorted_vector(), best.allocation.sorted_vector()
@@ -91,6 +104,7 @@ def throughput_max_min_fair(
     exact: bool = True,
     use_symmetry: bool = True,
     stop_at_max_throughput: bool = False,
+    cache: Optional[AllocationCache] = None,
 ) -> OptimalAllocation:
     """``a^{T-MmF}``: an exact throughput-max-min fair allocation (Def. 2.5).
 
@@ -102,13 +116,20 @@ def throughput_max_min_fair(
     """
     if not len(flows):
         raise ValueError("cannot optimize over an empty flow collection")
-    capacities = network.graph.capacities()
+    capacities = (
+        network.graph.capacities()
+        if cache is None
+        else cache.capacities_for(network)
+    )
     throughput_bound = max_throughput_value(flows) if stop_at_max_throughput else None
     best: Optional[OptimalAllocation] = None
     examined = 0
     for routing in enumerate_routings(network, flows, use_symmetry=use_symmetry):
         examined += 1
-        allocation = max_min_fair(routing, capacities, exact=exact)
+        if cache is None:
+            allocation = max_min_fair(routing, capacities, exact=exact)
+        else:
+            allocation = cache.solve(routing, capacities, exact=exact)
         if best is None:
             best = OptimalAllocation(routing, allocation, examined)
         else:

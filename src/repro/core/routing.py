@@ -13,7 +13,7 @@ feasibility checks and the water-filling algorithm.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import InfeasibleRoutingError, UnknownFlowError
 from repro.core.flows import Flow, FlowCollection
@@ -33,6 +33,7 @@ class Routing:
 
     def __init__(self, assignment: Mapping[Flow, Path]) -> None:
         self._paths: Dict[Flow, Path] = dict(assignment)
+        self._fingerprint: Optional[Tuple[Tuple[Flow, Path], ...]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -85,6 +86,19 @@ class Routing:
     def flows(self) -> List[Flow]:
         """The routed flows, in insertion order."""
         return list(self._paths)
+
+    def fingerprint(self) -> Tuple[Tuple[Flow, Path], ...]:
+        """A canonical, hashable identity for this routing.
+
+        The sorted tuple of ``(flow, path)`` pairs: two routings of the
+        same flows over the same paths produce equal fingerprints no
+        matter the order their assignments were built in.  Computed once
+        and cached (routings are immutable), so repeated cache lookups
+        (:class:`repro.core.cache.AllocationCache`) cost a tuple hash.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = tuple(sorted(self._paths.items()))
+        return self._fingerprint
 
     def middle_of(self, network: ClosNetwork, flow: Flow) -> MiddleSwitch:
         """The middle switch ``flow`` traverses (Clos routings only)."""

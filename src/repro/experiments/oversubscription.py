@@ -21,7 +21,7 @@ paper's premise) downward and measures which guarantees survive:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, NamedTuple, Sequence
+from typing import List, NamedTuple, Sequence, Tuple
 
 from repro.core.maxmin import max_min_fair
 from repro.core.objectives import macro_switch_max_min
@@ -29,6 +29,7 @@ from repro.core.throughput import max_throughput_value
 from repro.core.topology import ClosNetwork, MacroSwitch
 from repro.lp.feasibility import splittable_feasible
 from repro.lp.maxthroughput import max_throughput_lp
+from repro.parallel import parallel_map
 from repro.routers.greedy import greedy_least_congested
 from repro.workloads.stochastic import permutation, uniform_random
 
@@ -50,6 +51,60 @@ class OversubscriptionRow(NamedTuple):
     min_rate_ratio: float
 
 
+def _sweep_point(
+    task: Tuple[int, Fraction, int, int]
+) -> OversubscriptionRow:
+    """One interior-capacity level of E15 (module-level: picklable).
+
+    Rebuilds the reference network/workload from ``(n, num_flows, seed)``
+    — deterministic, so every capacity level sees identical flows and
+    macro rates regardless of which process computes it.
+    """
+    n, capacity, num_flows, seed = task
+    macro_network = MacroSwitch(n)
+    reference = ClosNetwork(n)
+    flows = uniform_random(reference, num_flows, seed=seed)
+    macro_alloc = macro_switch_max_min(macro_network, flows)
+    t_mt = max_throughput_value(flows)
+
+    network = ClosNetwork(n, interior_capacity=capacity)
+    routing = greedy_least_congested(network, flows)
+    graph_capacities = network.graph.capacities()
+
+    # LP max throughput for the greedy routing inside this fabric —
+    # an achievable value; with c = 1 and a matching-aware routing it
+    # reaches T^MT (Lemma 5.2), below 1 it cannot.
+    from repro.core.throughput import throughput_max_throughput
+
+    try:
+        disjoint_routing, _ = throughput_max_throughput(reference, flows)
+        # re-cost the link-disjoint routing in the degraded fabric
+        t_clos, _ = max_throughput_lp(disjoint_routing, graph_capacities)
+    except Exception:  # pragma: no cover - degree > n instances
+        t_clos, _ = max_throughput_lp(routing, graph_capacities)
+
+    alloc = max_min_fair(routing, graph_capacities)
+    ratios = [
+        float(alloc.rate(f) / macro_alloc.rate(f))
+        for f in flows
+        if macro_alloc.rate(f) > 0
+    ]
+    return OversubscriptionRow(
+        interior_capacity=capacity,
+        oversubscription=Fraction(1, 1) / capacity,
+        t_mt_macro=t_mt,
+        t_clos_lp=t_clos,
+        lemma_5_2_equality=abs(t_clos - t_mt) < 1e-9,
+        splittable_ok=splittable_feasible(
+            network, flows, macro_alloc.rates()
+        ),
+        throughput_fraction=float(
+            alloc.throughput() / macro_alloc.throughput()
+        ),
+        min_rate_ratio=min(ratios),
+    )
+
+
 def sweep(
     n: int = 3,
     capacities: Sequence[Fraction] = (
@@ -60,55 +115,11 @@ def sweep(
     ),
     num_flows: int = 24,
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[OversubscriptionRow]:
     """The E15 sweep on a uniform-random workload."""
-    macro_network = MacroSwitch(n)
-    reference = ClosNetwork(n)
-    flows = uniform_random(reference, num_flows, seed=seed)
-    macro_alloc = macro_switch_max_min(macro_network, flows)
-    t_mt = max_throughput_value(flows)
-
-    rows: List[OversubscriptionRow] = []
-    for capacity in capacities:
-        network = ClosNetwork(n, interior_capacity=capacity)
-        routing = greedy_least_congested(network, flows)
-        graph_capacities = network.graph.capacities()
-
-        # LP max throughput for the greedy routing inside this fabric —
-        # an achievable value; with c = 1 and a matching-aware routing it
-        # reaches T^MT (Lemma 5.2), below 1 it cannot.
-        from repro.core.throughput import throughput_max_throughput
-
-        try:
-            disjoint_routing, _ = throughput_max_throughput(reference, flows)
-            # re-cost the link-disjoint routing in the degraded fabric
-            t_clos, _ = max_throughput_lp(disjoint_routing, graph_capacities)
-        except Exception:  # pragma: no cover - degree > n instances
-            t_clos, _ = max_throughput_lp(routing, graph_capacities)
-
-        alloc = max_min_fair(routing, graph_capacities)
-        ratios = [
-            float(alloc.rate(f) / macro_alloc.rate(f))
-            for f in flows
-            if macro_alloc.rate(f) > 0
-        ]
-        rows.append(
-            OversubscriptionRow(
-                interior_capacity=capacity,
-                oversubscription=Fraction(1, 1) / capacity,
-                t_mt_macro=t_mt,
-                t_clos_lp=t_clos,
-                lemma_5_2_equality=abs(t_clos - t_mt) < 1e-9,
-                splittable_ok=splittable_feasible(
-                    network, flows, macro_alloc.rates()
-                ),
-                throughput_fraction=float(
-                    alloc.throughput() / macro_alloc.throughput()
-                ),
-                min_rate_ratio=min(ratios),
-            )
-        )
-    return rows
+    tasks = [(n, capacity, num_flows, seed) for capacity in capacities]
+    return parallel_map(_sweep_point, tasks, jobs=jobs)
 
 
 class PermutationRow(NamedTuple):
@@ -119,6 +130,25 @@ class PermutationRow(NamedTuple):
     expected: Fraction  # min(c, 1): uplinks cap each server's flow
 
 
+def _permutation_point(task: Tuple[int, Fraction, int]) -> PermutationRow:
+    """One capacity level of the permutation sweep (picklable)."""
+    n, capacity, seed = task
+    reference = ClosNetwork(n)
+    flows = permutation(reference, seed=seed)
+    network = ClosNetwork(n, interior_capacity=capacity)
+    from repro.core.throughput import link_disjoint_routing
+
+    routing = link_disjoint_routing(network, flows)
+    alloc = max_min_fair(routing, network.graph.capacities())
+    rates = set(alloc.rates().values())
+    assert len(rates) == 1, rates
+    return PermutationRow(
+        interior_capacity=capacity,
+        per_flow_rate=rates.pop(),
+        expected=min(capacity, Fraction(1)),
+    )
+
+
 def permutation_sweep(
     n: int = 3,
     capacities: Sequence[Fraction] = (
@@ -127,26 +157,10 @@ def permutation_sweep(
         Fraction(1, 4),
     ),
     seed: int = 0,
+    jobs: int = 1,
 ) -> List[PermutationRow]:
     """Permutation traffic under oversubscription has a closed form:
     a perfect matching of unit demands gets exactly ``min(c, 1)`` per
     flow when routed link-disjointly (each flow alone on its uplink)."""
-    reference = ClosNetwork(n)
-    flows = permutation(reference, seed=seed)
-    rows: List[PermutationRow] = []
-    for capacity in capacities:
-        network = ClosNetwork(n, interior_capacity=capacity)
-        from repro.core.throughput import link_disjoint_routing
-
-        routing = link_disjoint_routing(network, flows)
-        alloc = max_min_fair(routing, network.graph.capacities())
-        rates = set(alloc.rates().values())
-        assert len(rates) == 1, rates
-        rows.append(
-            PermutationRow(
-                interior_capacity=capacity,
-                per_flow_rate=rates.pop(),
-                expected=min(capacity, Fraction(1)),
-            )
-        )
-    return rows
+    tasks = [(n, capacity, seed) for capacity in capacities]
+    return parallel_map(_permutation_point, tasks, jobs=jobs)

@@ -15,12 +15,13 @@ but no experiment.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, NamedTuple, Sequence
+from typing import List, NamedTuple, Sequence, Tuple
 
 from repro.core.objectives import macro_switch_max_min
 from repro.core.theorems import theorem_3_4 as predict
 from repro.core.throughput import max_throughput_value
 from repro.core.topology import ClosNetwork, MacroSwitch
+from repro.parallel import parallel_map
 from repro.workloads.adversarial import theorem_3_4
 from repro.workloads.stochastic import hotspot, uniform_random
 
@@ -36,28 +37,34 @@ class PriceOfFairnessRow(NamedTuple):
     matches: bool
 
 
-def sweep(ks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64)) -> List[PriceOfFairnessRow]:
-    """The adversarial sweep of Theorem 3.4's tight construction."""
-    rows: List[PriceOfFairnessRow] = []
-    for k in ks:
-        instance = theorem_3_4(1, k)
-        t_mt = Fraction(max_throughput_value(instance.flows))
-        t_mmf = macro_switch_max_min(instance.macro, instance.flows).throughput()
-        prediction = predict(k)
-        rows.append(
-            PriceOfFairnessRow(
-                k=k,
-                t_max_throughput=t_mt,
-                t_max_min=t_mmf,
-                ratio=t_mmf / t_mt,
-                predicted_ratio=prediction.ratio,
-                matches=(
-                    t_mt == prediction.max_throughput
-                    and t_mmf == prediction.max_min_throughput
-                ),
-            )
-        )
-    return rows
+def _sweep_point(k: int) -> PriceOfFairnessRow:
+    """One k of the Theorem 3.4 sweep (module-level: picklable)."""
+    instance = theorem_3_4(1, k)
+    t_mt = Fraction(max_throughput_value(instance.flows))
+    t_mmf = macro_switch_max_min(instance.macro, instance.flows).throughput()
+    prediction = predict(k)
+    return PriceOfFairnessRow(
+        k=k,
+        t_max_throughput=t_mt,
+        t_max_min=t_mmf,
+        ratio=t_mmf / t_mt,
+        predicted_ratio=prediction.ratio,
+        matches=(
+            t_mt == prediction.max_throughput
+            and t_mmf == prediction.max_min_throughput
+        ),
+    )
+
+
+def sweep(
+    ks: Sequence[int] = (1, 2, 4, 8, 16, 32, 64), jobs: int = 1
+) -> List[PriceOfFairnessRow]:
+    """The adversarial sweep of Theorem 3.4's tight construction.
+
+    ``jobs > 1`` computes sweep points in worker processes (identical
+    results in identical order; see :mod:`repro.parallel`).
+    """
+    return parallel_map(_sweep_point, ks, jobs=jobs)
 
 
 class RandomBoundRow(NamedTuple):
@@ -70,27 +77,34 @@ class RandomBoundRow(NamedTuple):
     bound_holds: bool
 
 
-def random_bound_check(
-    n: int = 3, num_flows: int = 40, seeds: Sequence[int] = range(5)
-) -> List[RandomBoundRow]:
-    """Validate Theorem 3.4's lower bound on stochastic macro-switch inputs."""
+def _random_bound_point(task: Tuple[int, int, str, int]) -> RandomBoundRow:
+    """One (workload, seed) check (module-level: picklable)."""
+    n, num_flows, name, seed = task
     clos = ClosNetwork(n)
     macro = MacroSwitch(n)
-    rows: List[RandomBoundRow] = []
-    for seed in seeds:
-        for name, flows in (
-            ("uniform", uniform_random(clos, num_flows, seed=seed)),
-            ("hotspot", hotspot(clos, num_flows, seed=seed)),
-        ):
-            t_mt = Fraction(max_throughput_value(flows))
-            t_mmf = macro_switch_max_min(macro, flows).throughput()
-            rows.append(
-                RandomBoundRow(
-                    workload=name,
-                    seed=seed,
-                    t_max_throughput=t_mt,
-                    t_max_min=t_mmf,
-                    bound_holds=bool(2 * t_mmf >= t_mt),
-                )
-            )
-    return rows
+    generator = uniform_random if name == "uniform" else hotspot
+    flows = generator(clos, num_flows, seed=seed)
+    t_mt = Fraction(max_throughput_value(flows))
+    t_mmf = macro_switch_max_min(macro, flows).throughput()
+    return RandomBoundRow(
+        workload=name,
+        seed=seed,
+        t_max_throughput=t_mt,
+        t_max_min=t_mmf,
+        bound_holds=bool(2 * t_mmf >= t_mt),
+    )
+
+
+def random_bound_check(
+    n: int = 3,
+    num_flows: int = 40,
+    seeds: Sequence[int] = range(5),
+    jobs: int = 1,
+) -> List[RandomBoundRow]:
+    """Validate Theorem 3.4's lower bound on stochastic macro-switch inputs."""
+    tasks = [
+        (n, num_flows, name, seed)
+        for seed in seeds
+        for name in ("uniform", "hotspot")
+    ]
+    return parallel_map(_random_bound_point, tasks, jobs=jobs)

@@ -26,11 +26,14 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import List, NamedTuple, Sequence, Tuple
 
+import functools
+
 from repro.core.bottleneck import certify_max_min_fair
 from repro.core.maxmin import max_min_fair
 from repro.core.objectives import macro_switch_max_min
 from repro.core.theorems import theorem_4_3 as predict
 from repro.lp.feasibility import find_feasible_routing, splittable_feasible
+from repro.parallel import parallel_map
 from repro.search.local_search import is_local_optimum
 from repro.workloads.adversarial import (
     lemma_4_6_routing,
@@ -48,29 +51,31 @@ class InfeasibilityRow(NamedTuple):
     splittable_feasible: bool  # True = classic demand satisfaction holds
 
 
-def infeasibility_sweep(sizes: Sequence[int] = (3,)) -> List[InfeasibilityRow]:
+def _infeasibility_point(n: int) -> InfeasibilityRow:
+    """One network size of E3 (module-level: picklable)."""
+    instance = theorem_4_2(n)
+    demands = macro_switch_max_min(instance.macro, instance.flows).rates()
+    routing = find_feasible_routing(instance.clos, instance.flows, demands)
+    return InfeasibilityRow(
+        n=n,
+        num_flows=len(instance.flows),
+        unsplittable_feasible=routing is not None,
+        splittable_feasible=splittable_feasible(
+            instance.clos, instance.flows, demands
+        ),
+    )
+
+
+def infeasibility_sweep(
+    sizes: Sequence[int] = (3,), jobs: int = 1
+) -> List[InfeasibilityRow]:
     """E3: macro-switch max-min rates cannot be routed unsplittably.
 
     The exhaustive search is exponential; ``n = 3`` decides in
     milliseconds and ``n = 4`` in seconds — pass ``sizes=(3, 4)`` for the
-    slower confirmation.
+    slower confirmation.  ``jobs > 1`` decides sizes in parallel.
     """
-    rows: List[InfeasibilityRow] = []
-    for n in sizes:
-        instance = theorem_4_2(n)
-        demands = macro_switch_max_min(instance.macro, instance.flows).rates()
-        routing = find_feasible_routing(instance.clos, instance.flows, demands)
-        rows.append(
-            InfeasibilityRow(
-                n=n,
-                num_flows=len(instance.flows),
-                unsplittable_feasible=routing is not None,
-                splittable_feasible=splittable_feasible(
-                    instance.clos, instance.flows, demands
-                ),
-            )
-        )
-    return rows
+    return parallel_map(_infeasibility_point, sizes, jobs=jobs)
 
 
 class StarvationRow(NamedTuple):
@@ -86,49 +91,54 @@ class StarvationRow(NamedTuple):
     per_type_rates_match: bool  # Lemmas 4.4 and 4.6 rate tables
 
 
+def _starvation_point(n: int, check_local_optimality: bool = True) -> StarvationRow:
+    """One network size of E4 (module-level: picklable via ``partial``)."""
+    instance = theorem_4_3(n)
+    prediction = predict(n)
+    capacities = instance.clos.graph.capacities()
+
+    macro = macro_switch_max_min(instance.macro, instance.flows)
+    routing = lemma_4_6_routing(instance)
+    alloc = max_min_fair(routing, capacities)
+
+    rates_match = True
+    for type_name in ("type1", "type2", "type3"):
+        for flow in instance.types[type_name]:
+            if macro.rate(flow) != prediction.macro_rates[type_name]:
+                rates_match = False
+            if alloc.rate(flow) != prediction.lex_max_min_rates[type_name]:
+                rates_match = False
+
+    certified = certify_max_min_fair(routing, alloc, capacities) is None
+    locally_optimal = (
+        is_local_optimum(instance.clos, routing, objective="lex")
+        if check_local_optimality
+        else True
+    )
+
+    (type3,) = instance.types["type3"]
+    return StarvationRow(
+        n=n,
+        macro_type3_rate=macro.rate(type3),
+        lex_type3_rate=alloc.rate(type3),
+        starvation_factor=alloc.rate(type3) / macro.rate(type3),
+        predicted_factor=prediction.starvation_factor,
+        bottleneck_certified=certified,
+        locally_optimal=locally_optimal,
+        per_type_rates_match=rates_match,
+    )
+
+
 def starvation_sweep(
-    sizes: Sequence[int] = (3, 4, 5, 6), check_local_optimality: bool = True
+    sizes: Sequence[int] = (3, 4, 5, 6),
+    check_local_optimality: bool = True,
+    jobs: int = 1,
 ) -> List[StarvationRow]:
     """E4: the ``1/n`` starvation of the type-3 flow, per network size."""
-    rows: List[StarvationRow] = []
-    for n in sizes:
-        instance = theorem_4_3(n)
-        prediction = predict(n)
-        capacities = instance.clos.graph.capacities()
-
-        macro = macro_switch_max_min(instance.macro, instance.flows)
-        routing = lemma_4_6_routing(instance)
-        alloc = max_min_fair(routing, capacities)
-
-        rates_match = True
-        for type_name in ("type1", "type2", "type3"):
-            for flow in instance.types[type_name]:
-                if macro.rate(flow) != prediction.macro_rates[type_name]:
-                    rates_match = False
-                if alloc.rate(flow) != prediction.lex_max_min_rates[type_name]:
-                    rates_match = False
-
-        certified = certify_max_min_fair(routing, alloc, capacities) is None
-        locally_optimal = (
-            is_local_optimum(instance.clos, routing, objective="lex")
-            if check_local_optimality
-            else True
-        )
-
-        (type3,) = instance.types["type3"]
-        rows.append(
-            StarvationRow(
-                n=n,
-                macro_type3_rate=macro.rate(type3),
-                lex_type3_rate=alloc.rate(type3),
-                starvation_factor=alloc.rate(type3) / macro.rate(type3),
-                predicted_factor=prediction.starvation_factor,
-                bottleneck_certified=certified,
-                locally_optimal=locally_optimal,
-                per_type_rates_match=rates_match,
-            )
-        )
-    return rows
+    point = functools.partial(
+        _starvation_point, check_local_optimality=check_local_optimality
+    )
+    return parallel_map(point, sizes, jobs=jobs)
 
 
 class DominanceRow(NamedTuple):

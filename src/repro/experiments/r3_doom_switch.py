@@ -26,6 +26,7 @@ from repro.analysis.metrics import compare_to_macro
 from repro.core.doom_switch import doom_switch
 from repro.core.objectives import macro_switch_max_min, throughput_max_min_fair
 from repro.core.theorems import theorem_5_4 as predict
+from repro.parallel import parallel_map
 from repro.workloads.adversarial import theorem_5_4
 from repro.workloads.stochastic import uniform_random
 from repro.core.topology import ClosNetwork, MacroSwitch
@@ -46,6 +47,29 @@ class DoomSwitchRow(NamedTuple):
     min_rate_ratio: Fraction  # worst flow's (network rate / macro rate)
 
 
+def _sweep_point(point: Tuple[int, int]) -> DoomSwitchRow:
+    """One (n, k) of the Theorem 5.4 sweep (module-level: picklable)."""
+    n, k = point
+    instance = theorem_5_4(n, k)
+    macro = macro_switch_max_min(instance.macro, instance.flows)
+    result = doom_switch(instance.clos, instance.flows)
+    prediction = predict(n, k)
+    comparison = compare_to_macro(result.allocation, macro)
+    gain = result.allocation.throughput() / macro.throughput()
+    return DoomSwitchRow(
+        n=n,
+        k=k,
+        t_macro_max_min=macro.throughput(),
+        t_doom=result.allocation.throughput(),
+        gain=gain,
+        predicted_gain=prediction.gain,
+        upper_bound_holds=bool(gain <= 2),
+        num_flows=len(instance.flows),
+        num_degraded=comparison.num_degraded,
+        min_rate_ratio=comparison.min_ratio,
+    )
+
+
 def sweep(
     points: Sequence[Tuple[int, int]] = (
         (5, 1),
@@ -56,31 +80,10 @@ def sweep(
         (11, 8),
         (13, 16),
     ),
+    jobs: int = 1,
 ) -> List[DoomSwitchRow]:
     """The (n, k) sweep of Theorem 5.4's tight construction."""
-    rows: List[DoomSwitchRow] = []
-    for n, k in points:
-        instance = theorem_5_4(n, k)
-        macro = macro_switch_max_min(instance.macro, instance.flows)
-        result = doom_switch(instance.clos, instance.flows)
-        prediction = predict(n, k)
-        comparison = compare_to_macro(result.allocation, macro)
-        gain = result.allocation.throughput() / macro.throughput()
-        rows.append(
-            DoomSwitchRow(
-                n=n,
-                k=k,
-                t_macro_max_min=macro.throughput(),
-                t_doom=result.allocation.throughput(),
-                gain=gain,
-                predicted_gain=prediction.gain,
-                upper_bound_holds=bool(gain <= 2),
-                num_flows=len(instance.flows),
-                num_degraded=comparison.num_degraded,
-                min_rate_ratio=comparison.min_ratio,
-            )
-        )
-    return rows
+    return parallel_map(_sweep_point, points, jobs=jobs)
 
 
 class ExactBoundRow(NamedTuple):
@@ -95,27 +98,32 @@ class ExactBoundRow(NamedTuple):
     upper_bound_holds: bool
 
 
-def exact_bound_check(
-    n: int = 2, num_flows: int = 6, seeds: Sequence[int] = range(4)
-) -> List[ExactBoundRow]:
-    """Exact verification of ``T^{T-MmF} ≤ 2 T^MmF`` on random instances."""
+def _exact_bound_point(task: Tuple[int, int, int]) -> ExactBoundRow:
+    """One seeded instance of the exact bound check (picklable)."""
+    n, num_flows, seed = task
     clos = ClosNetwork(n)
     macro_network = MacroSwitch(n)
-    rows: List[ExactBoundRow] = []
-    for seed in seeds:
-        flows = uniform_random(clos, num_flows, seed=seed)
-        macro = macro_switch_max_min(macro_network, flows)
-        optimum = throughput_max_min_fair(clos, flows)
-        gain = optimum.allocation.throughput() / macro.throughput()
-        rows.append(
-            ExactBoundRow(
-                n=n,
-                num_flows=num_flows,
-                seed=seed,
-                t_macro_max_min=macro.throughput(),
-                t_t_mmf=optimum.allocation.throughput(),
-                gain=gain,
-                upper_bound_holds=bool(gain <= 2),
-            )
-        )
-    return rows
+    flows = uniform_random(clos, num_flows, seed=seed)
+    macro = macro_switch_max_min(macro_network, flows)
+    optimum = throughput_max_min_fair(clos, flows)
+    gain = optimum.allocation.throughput() / macro.throughput()
+    return ExactBoundRow(
+        n=n,
+        num_flows=num_flows,
+        seed=seed,
+        t_macro_max_min=macro.throughput(),
+        t_t_mmf=optimum.allocation.throughput(),
+        gain=gain,
+        upper_bound_holds=bool(gain <= 2),
+    )
+
+
+def exact_bound_check(
+    n: int = 2,
+    num_flows: int = 6,
+    seeds: Sequence[int] = range(4),
+    jobs: int = 1,
+) -> List[ExactBoundRow]:
+    """Exact verification of ``T^{T-MmF} ≤ 2 T^MmF`` on random instances."""
+    tasks = [(n, num_flows, seed) for seed in seeds]
+    return parallel_map(_exact_bound_point, tasks, jobs=jobs)

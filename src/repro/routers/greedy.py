@@ -91,7 +91,13 @@ def greedy_least_congested(
             i, o = flow.source.switch, flow.dest.switch
             best_m, best_congestion = 1, None
             for m in range(1, n + 1):
-                congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
+                # max(up + d, down + d) = max(up, down) + d: the flow's
+                # own demand shifts every candidate equally, so compare
+                # without the 2n Fraction additions per placement.
+                congestion = up[(i, m)]
+                downlink = down[(m, o)]
+                if downlink > congestion:
+                    congestion = downlink
                 if best_congestion is None or congestion < best_congestion:
                     best_m, best_congestion = m, congestion
             middles[flow] = best_m

@@ -67,7 +67,9 @@ def two_choice_routing(
         best_m, best_congestion = None, None
         for m in candidates:
             _PROBES.inc()
-            congestion = max(up[(i, m)] + demand, down[(m, o)] + demand)
+            # max(up + d, down + d) = max(up, down) + d: comparing
+            # without the flow's own demand picks the same candidate.
+            congestion = max(up[(i, m)], down[(m, o)])
             if best_congestion is None or congestion < best_congestion:
                 best_m, best_congestion = m, congestion
         middles[flow] = best_m

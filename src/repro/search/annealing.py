@@ -17,6 +17,14 @@ exact-arithmetic-friendly:
 Both return the same ``(routing, allocation)`` pair as
 :func:`repro.search.local_search.improve_routing` and never return
 anything worse than plain hill climbing from the same budget.
+
+Both share one :class:`~repro.core.cache.AllocationCache` across their
+whole run (all multi-start climbs; the annealing walk *and* its final
+polish), so routings the walk revisits — or the polish re-probes — are
+served from the cache, and candidate moves are evaluated incrementally
+by :class:`~repro.core.incremental.MoveEvaluator` rather than by fresh
+full solves.  The annealing random-number stream is unchanged: seeds
+reproduce the exact walks of the pre-cache implementation.
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ import random
 from typing import Optional, Tuple
 
 from repro.core.allocation import Allocation, lex_compare
+from repro.core.cache import AllocationCache
 from repro.core.flows import FlowCollection
-from repro.core.maxmin import max_min_fair
+from repro.core.incremental import MoveEvaluator
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
 from repro.obs import counter, trace_span
@@ -55,18 +64,21 @@ def multi_start(
     starts: int = 5,
     exact: bool = True,
     seed: int = 0,
+    cache: Optional[AllocationCache] = None,
 ) -> Tuple[Routing, Allocation]:
     """Best-of-``starts`` hill climbs from random initial routings."""
     if starts < 1:
         raise ValueError(f"starts must be >= 1, got {starts}")
     rng = random.Random(seed)
+    if cache is None:
+        cache = AllocationCache()
     best: Optional[Tuple[Routing, Allocation]] = None
     with trace_span("search.multi_start", starts=starts, objective=objective):
         for _ in range(starts):
             _STARTS.inc()
             start = _random_routing(network, flows, rng)
             routing, allocation = improve_routing(
-                network, start, objective=objective, exact=exact
+                network, start, objective=objective, exact=exact, cache=cache
             )
             if best is None or _is_better(objective, allocation, best[1]):
                 best = (routing, allocation)
@@ -96,6 +108,7 @@ def anneal(
     cooling: float = 0.98,
     exact: bool = True,
     seed: int = 0,
+    cache: Optional[AllocationCache] = None,
 ) -> Tuple[Routing, Allocation]:
     """Simulated annealing over single-flow moves, then a final polish.
 
@@ -108,11 +121,20 @@ def anneal(
     if not 0 < cooling < 1:
         raise ValueError(f"cooling must be in (0, 1), got {cooling}")
     rng = random.Random(seed)
-    capacities = network.graph.capacities()
+    if cache is None:
+        cache = AllocationCache()
 
     current = _random_routing(network, flows, rng)
-    current_alloc = max_min_fair(current, capacities, exact=exact)
-    best, best_alloc = current, current_alloc
+    evaluator = MoveEvaluator(
+        network,
+        current,
+        capacities=cache.capacities_for(network),
+        exact=exact,
+        cache=cache,
+    )
+    current_alloc = evaluator.base_allocation()
+    best_middles = dict(evaluator.middles)
+    best_alloc = current_alloc
 
     temperature = initial_temperature
     flow_list = list(flows)
@@ -121,8 +143,7 @@ def anneal(
             flow = rng.choice(flow_list)
             move_to = rng.randint(1, network.num_middles)
             _PROPOSED.inc()
-            candidate = current.reassigned(network, flow, move_to)
-            candidate_alloc = max_min_fair(candidate, capacities, exact=exact)
+            candidate_alloc = evaluator.evaluate(flow, move_to)
 
             delta = _scalar(objective, candidate_alloc) - _scalar(
                 objective, current_alloc
@@ -131,13 +152,16 @@ def anneal(
                 delta / max(temperature, 1e-9)
             ):
                 _ACCEPTED.inc()
-                current, current_alloc = candidate, candidate_alloc
+                evaluator.apply(flow, move_to)
+                current_alloc = candidate_alloc
                 if _is_better(objective, current_alloc, best_alloc):
-                    best, best_alloc = current, current_alloc
+                    best_middles = dict(evaluator.middles)
+                    best_alloc = current_alloc
             temperature *= cooling
 
+    best = Routing.from_middles(network, flows, best_middles)
     polished, polished_alloc = improve_routing(
-        network, best, objective=objective, exact=exact
+        network, best, objective=objective, exact=exact, cache=cache
     )
     if _is_better(objective, polished_alloc, best_alloc):
         return polished, polished_alloc

@@ -15,14 +15,28 @@ Local search gives *lower bounds* on the optima — exactly the role it
 plays in our Theorem 4.3 verification: the paper proves the closed-form
 lex-max-min allocation optimal, and we confirm that no single-flow move
 beats it (the optimum must be a local optimum).
+
+Performance: candidate moves are evaluated by
+:class:`repro.core.incremental.MoveEvaluator` (patching four
+link-occupancy entries instead of re-solving from a fresh
+:class:`~repro.core.routing.Routing`), already-seen routings are served
+from an :class:`~repro.core.cache.AllocationCache`, and the
+first-improvement scan *rotates*: after an accepted move the next round
+resumes at the following flow rather than restarting from the first, so
+a stretch of unimprovable flows is not re-probed on every round.  Both
+:func:`improve_routing` and :func:`is_local_optimum` draw their moves
+from the single :func:`candidate_moves` generator, so the definition of
+the move neighborhood cannot drift between them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.core.allocation import Allocation, lex_compare
-from repro.core.maxmin import max_min_fair
+from repro.core.cache import AllocationCache
+from repro.core.flows import Flow
+from repro.core.incremental import MoveEvaluator
 from repro.core.routing import Routing
 from repro.core.topology import ClosNetwork
 from repro.obs import counter, trace_span
@@ -51,6 +65,30 @@ def _is_better(
     raise ValueError(f"unknown objective: {objective!r}")
 
 
+def candidate_moves(
+    num_middles: int,
+    middles: Mapping[Flow, int],
+    flow_order: Sequence[Flow],
+    start: int = 0,
+) -> Iterator[Tuple[int, Flow, int]]:
+    """Yield every single-flow move as ``(flow_index, flow, middle)``.
+
+    The neighborhood of a Clos routing: for each flow (scanned in
+    ``flow_order`` starting at index ``start`` and wrapping around) and
+    each middle switch other than the flow's current one.  This is the
+    single definition of the move set shared by :func:`improve_routing`
+    and :func:`is_local_optimum`.
+    """
+    total = len(flow_order)
+    for offset in range(total):
+        index = (start + offset) % total
+        flow = flow_order[index]
+        here = middles[flow]
+        for m in range(1, num_middles + 1):
+            if m != here:
+                yield index, flow, m
+
+
 def improve_routing(
     network: ClosNetwork,
     routing: Routing,
@@ -58,52 +96,57 @@ def improve_routing(
     exact: bool = True,
     max_rounds: Optional[int] = None,
     on_improvement: Optional[Callable[[Routing, Allocation], None]] = None,
+    cache: Optional[AllocationCache] = None,
 ) -> Tuple[Routing, Allocation]:
     """Hill-climb from ``routing`` using single-flow middle-switch moves.
 
     Returns the locally optimal ``(routing, allocation)``.  Each round
-    scans every (flow, middle switch) move and applies the first
-    improving one; the search stops when a full scan finds no improving
-    move or after ``max_rounds`` rounds.
+    applies the first improving move found, resuming the scan just past
+    the previously accepted move (rotating first-improvement); the
+    search stops when a full wrap-around finds no improving move or
+    after ``max_rounds`` accepted-move rounds.  Pass ``cache`` to share
+    solved allocations with other searches over the same network.
     """
-    capacities = network.graph.capacities()
-    best_routing = routing
-    best_alloc = max_min_fair(routing, capacities, exact=exact)
+    if cache is None:
+        cache = AllocationCache()
+    evaluator = MoveEvaluator(
+        network,
+        routing,
+        capacities=cache.capacities_for(network),
+        exact=exact,
+        cache=cache,
+    )
+    best_alloc = evaluator.base_allocation()
+    flow_order = routing.flows()
+    start = 0
     rounds = 0
     with trace_span(
         "search.local_search",
         objective=objective,
-        flows=len(routing.flows()),
+        flows=len(flow_order),
     ) as span:
         while max_rounds is None or rounds < max_rounds:
             rounds += 1
             _ROUNDS.inc()
             improved = False
-            current_middles = best_routing.middles(network)
-            for flow in best_routing.flows():
-                here = current_middles[flow]
-                for m in range(1, network.num_middles + 1):
-                    if m == here:
-                        continue
-                    _PROPOSED.inc()
-                    candidate_routing = best_routing.reassigned(network, flow, m)
-                    candidate_alloc = max_min_fair(
-                        candidate_routing, capacities, exact=exact
-                    )
-                    if _is_better(objective, candidate_alloc, best_alloc):
-                        best_routing = candidate_routing
-                        best_alloc = candidate_alloc
-                        improved = True
-                        _ACCEPTED.inc()
-                        if on_improvement is not None:
-                            on_improvement(best_routing, best_alloc)
-                        break
-                if improved:
+            for index, flow, m in candidate_moves(
+                network.num_middles, evaluator.middles, flow_order, start
+            ):
+                _PROPOSED.inc()
+                candidate_alloc = evaluator.evaluate(flow, m)
+                if _is_better(objective, candidate_alloc, best_alloc):
+                    evaluator.apply(flow, m)
+                    best_alloc = candidate_alloc
+                    improved = True
+                    _ACCEPTED.inc()
+                    start = (index + 1) % len(flow_order)
+                    if on_improvement is not None:
+                        on_improvement(evaluator.routing(), best_alloc)
                     break
             if not improved:
                 break
         span.set(rounds=rounds)
-    return best_routing, best_alloc
+    return evaluator.routing(), best_alloc
 
 
 def is_local_optimum(
@@ -111,19 +154,17 @@ def is_local_optimum(
     routing: Routing,
     objective: str = "lex",
     exact: bool = True,
+    cache: Optional[AllocationCache] = None,
 ) -> bool:
     """True if no single-flow middle-switch move improves the objective."""
-    capacities = network.graph.capacities()
-    incumbent = max_min_fair(routing, capacities, exact=exact)
-    middles = routing.middles(network)
-    for flow in routing.flows():
-        here = middles[flow]
-        for m in range(1, network.num_middles + 1):
-            if m == here:
-                continue
-            candidate = max_min_fair(
-                routing.reassigned(network, flow, m), capacities, exact=exact
-            )
-            if _is_better(objective, candidate, incumbent):
-                return False
+    capacities = None if cache is None else cache.capacities_for(network)
+    evaluator = MoveEvaluator(
+        network, routing, capacities=capacities, exact=exact, cache=cache
+    )
+    incumbent = evaluator.base_allocation()
+    for _, flow, m in candidate_moves(
+        network.num_middles, evaluator.middles, routing.flows()
+    ):
+        if _is_better(objective, evaluator.evaluate(flow, m), incumbent):
+            return False
     return True

@@ -1,0 +1,229 @@
+"""Tests for the solver performance layer: fingerprints, the allocation
+cache, and incremental move evaluation.
+
+The load-bearing property: max-min fair allocations are *unique* per
+routing, so the incremental evaluator and the cache must reproduce a
+full :func:`~repro.core.maxmin.max_min_fair` solve exactly —
+``Fraction``-identical in exact mode, within float tolerance otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.cache import AllocationCache
+from repro.core.flows import Flow, FlowCollection
+from repro.core.incremental import Move, MoveEvaluator, delta_max_min_fair
+from repro.core.maxmin import max_min_fair
+from repro.core.routing import Routing
+from repro.core.topology import ClosNetwork
+from repro.errors import UnknownFlowError
+from repro.workloads.stochastic import uniform_random
+
+
+def _random_instance(n: int, num_flows: int, seed: int):
+    clos = ClosNetwork(n)
+    flows = uniform_random(clos, num_flows, seed=seed)
+    rng = random.Random(seed)
+    middles = {flow: rng.randint(1, n) for flow in flows}
+    return clos, flows, Routing.from_middles(clos, flows, middles)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_insertion_order_independent():
+    clos, flows, routing = _random_instance(2, 6, seed=0)
+    paths = {flow: routing.path(flow) for flow in routing.flows()}
+    reversed_paths = dict(reversed(list(paths.items())))
+    assert Routing(paths).fingerprint() == Routing(reversed_paths).fingerprint()
+
+
+def test_fingerprint_distinguishes_routings():
+    clos, flows, routing = _random_instance(2, 6, seed=1)
+    middles = routing.middles(clos)
+    flow = next(iter(middles))
+    moved = dict(middles)
+    moved[flow] = 2 if middles[flow] == 1 else 1
+    other = Routing.from_middles(clos, flows, moved)
+    assert routing.fingerprint() != other.fingerprint()
+
+
+def test_candidate_fingerprint_matches_moved_routing():
+    clos, flows, routing = _random_instance(3, 8, seed=2)
+    evaluator = MoveEvaluator(clos, routing)
+    middles = routing.middles(clos)
+    for flow in list(middles)[:4]:
+        for m in range(1, clos.num_middles + 1):
+            moved = dict(middles)
+            moved[flow] = m
+            expected = Routing.from_middles(clos, flows, moved).fingerprint()
+            assert evaluator.candidate_fingerprint(flow, m) == expected
+
+
+# ----------------------------------------------------------------------
+# AllocationCache
+# ----------------------------------------------------------------------
+def test_cache_hits_and_misses():
+    clos, flows, routing = _random_instance(2, 5, seed=3)
+    cache = AllocationCache()
+    capacities = cache.capacities_for(clos)
+    first = cache.solve(routing, capacities)
+    second = cache.solve(routing, capacities)
+    assert first is second
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+
+
+def test_cache_separates_exact_and_float():
+    clos, flows, routing = _random_instance(2, 5, seed=4)
+    cache = AllocationCache()
+    capacities = cache.capacities_for(clos)
+    exact = cache.solve(routing, capacities, exact=True)
+    approx = cache.solve(routing, capacities, exact=False)
+    assert exact is not approx
+    assert cache.stats()["misses"] == 2
+    assert isinstance(exact.sorted_vector()[0], Fraction)
+    assert isinstance(approx.sorted_vector()[0], float)
+
+
+def test_cache_evicts_least_recently_used():
+    clos, flows, routing = _random_instance(2, 4, seed=5)
+    cache = AllocationCache(maxsize=2)
+    capacities = cache.capacities_for(clos)
+    middles = routing.middles(clos)
+    routings = []
+    for flow in list(middles)[:2]:  # two distinct single-flow flips
+        moved = dict(middles)
+        moved[flow] = 2 if middles[flow] == 1 else 1
+        routings.append(Routing.from_middles(clos, flows, moved))
+    cache.solve(routing, capacities)
+    cache.solve(routings[0], capacities)
+    cache.solve(routings[1], capacities)  # evicts the first entry
+    assert len(cache) == 2
+    assert cache.stats()["evictions"] == 1
+    cache.solve(routing, capacities)  # miss again: it was evicted
+    assert cache.stats()["misses"] == 4
+
+
+def test_capacities_for_is_stable_per_network():
+    clos = ClosNetwork(2)
+    cache = AllocationCache()
+    assert cache.capacities_for(clos) is cache.capacities_for(clos)
+    assert cache.capacities_for(clos) == clos.graph.capacities()
+
+
+# ----------------------------------------------------------------------
+# Incremental evaluation: exact identity with full solves
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_evaluate_is_fraction_identical_to_full_solve(seed):
+    clos, flows, routing = _random_instance(3, 10, seed=seed)
+    capacities = clos.graph.capacities()
+    evaluator = MoveEvaluator(clos, routing, capacities=capacities)
+    middles = routing.middles(clos)
+    rng = random.Random(seed + 100)
+    for _ in range(8):
+        flow = rng.choice(list(middles))
+        m = rng.randint(1, clos.num_middles)
+        moved = dict(middles)
+        moved[flow] = m
+        expected = max_min_fair(
+            Routing.from_middles(clos, flows, moved), capacities
+        )
+        actual = evaluator.evaluate(flow, m)
+        assert actual.sorted_vector() == expected.sorted_vector()
+        for f in flows:
+            assert actual.rate(f) == expected.rate(f)
+            assert isinstance(actual.rate(f), Fraction)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_apply_walk_stays_consistent(seed):
+    clos, flows, routing = _random_instance(3, 8, seed=seed)
+    capacities = clos.graph.capacities()
+    cache = AllocationCache()
+    evaluator = MoveEvaluator(
+        clos, routing, capacities=capacities, cache=cache
+    )
+    rng = random.Random(seed)
+    for _ in range(10):
+        flow = rng.choice(list(evaluator.middles))
+        m = rng.randint(1, clos.num_middles)
+        evaluator.apply(flow, m)
+        snapshot = evaluator.routing()
+        assert evaluator.fingerprint() == snapshot.fingerprint()
+        expected = max_min_fair(snapshot, capacities)
+        actual = evaluator.base_allocation()
+        assert actual.sorted_vector() == expected.sorted_vector()
+
+
+def test_float_mode_within_tolerance():
+    clos, flows, routing = _random_instance(3, 10, seed=7)
+    capacities = clos.graph.capacities()
+    evaluator = MoveEvaluator(clos, routing, capacities=capacities, exact=False)
+    middles = routing.middles(clos)
+    rng = random.Random(7)
+    for _ in range(6):
+        flow = rng.choice(list(middles))
+        m = rng.randint(1, clos.num_middles)
+        moved = dict(middles)
+        moved[flow] = m
+        expected = max_min_fair(
+            Routing.from_middles(clos, flows, moved), capacities, exact=False
+        )
+        actual = evaluator.evaluate(flow, m)
+        for f in flows:
+            assert actual.rate(f) == pytest.approx(expected.rate(f), abs=1e-9)
+
+
+def test_delta_max_min_fair_wrapper():
+    clos, flows, routing = _random_instance(2, 6, seed=8)
+    capacities = clos.graph.capacities()
+    middles = routing.middles(clos)
+    flow = next(iter(middles))
+    target = 2 if middles[flow] == 1 else 1
+    moved = dict(middles)
+    moved[flow] = target
+    expected = max_min_fair(
+        Routing.from_middles(clos, flows, moved), capacities
+    )
+    actual = delta_max_min_fair(clos, routing, Move(flow, target))
+    assert actual.sorted_vector() == expected.sorted_vector()
+
+
+def test_evaluate_leaves_base_untouched():
+    clos, flows, routing = _random_instance(2, 6, seed=9)
+    evaluator = MoveEvaluator(clos, routing)
+    before = evaluator.base_allocation().sorted_vector()
+    middles = routing.middles(clos)
+    flow = next(iter(middles))
+    evaluator.evaluate(flow, 2 if middles[flow] == 1 else 1)
+    assert evaluator.base_allocation().sorted_vector() == before
+    assert evaluator.routing().fingerprint() == routing.fingerprint()
+
+
+def test_unknown_flow_rejected():
+    clos = ClosNetwork(2)
+    flows = FlowCollection([Flow(clos.source(1, 1), clos.destination(2, 1))])
+    routing = Routing.from_middles(clos, flows, {flows[0]: 1})
+    evaluator = MoveEvaluator(clos, routing)
+    stranger = Flow(clos.source(2, 1), clos.destination(1, 1))
+    with pytest.raises(UnknownFlowError):
+        evaluator.evaluate(stranger, 1)
+    with pytest.raises(UnknownFlowError):
+        evaluator.apply(stranger, 1)
+
+
+def test_evaluator_cache_shared_across_consumers():
+    clos, flows, routing = _random_instance(2, 6, seed=11)
+    cache = AllocationCache()
+    capacities = cache.capacities_for(clos)
+    first = MoveEvaluator(clos, routing, capacities=capacities, cache=cache)
+    first.base_allocation()
+    second = MoveEvaluator(clos, routing, capacities=capacities, cache=cache)
+    assert second.base_allocation() is first.base_allocation()
+    assert cache.stats()["hits"] >= 2
