@@ -62,6 +62,49 @@ def _big_instance():
     return clos, flows
 
 
+#: Shared inputs for the backend-comparison scenarios, built once — the
+#: scenarios time *solver* work, not instance construction, so the
+#: ``vectorized_waterfill`` / ``water_filling_fast_xl`` pair differs only
+#: in the kernel (the vectorized side reuses its compiled incidence, the
+#: way the flow simulator holds it across events).
+_SOLVER_CACHE: Dict[str, Any] = {}
+
+
+def _xl_instance():
+    """A dense instance: 4000 flows over the 72 links of ``Clos(3)``."""
+    if "xl" not in _SOLVER_CACHE:
+        clos = ClosNetwork(3)
+        flows = uniform_random(clos, 4000, seed=0)
+        routing = ecmp_routing(clos, flows)
+        _SOLVER_CACHE["xl"] = (routing, clos.graph.capacities())
+    return _SOLVER_CACHE["xl"]
+
+
+def _xl_compiled():
+    if "xl_compiled" not in _SOLVER_CACHE:
+        from repro.core.vectorized import capacity_vector, compile_routing
+
+        routing, caps = _xl_instance()
+        compiled = compile_routing(routing, caps)
+        _SOLVER_CACHE["xl_compiled"] = (
+            compiled, capacity_vector(compiled, caps)
+        )
+    return _SOLVER_CACHE["xl_compiled"]
+
+
+def _quotient_instance():
+    """The Theorem 4.3 construction at n = 16 (4337 flows)."""
+    if "quotient" not in _SOLVER_CACHE:
+        from repro.workloads.adversarial import lemma_4_6_routing, theorem_4_3
+
+        instance = theorem_4_3(16)
+        routing = lemma_4_6_routing(instance)
+        _SOLVER_CACHE["quotient"] = (
+            routing, instance.clos.graph.capacities()
+        )
+    return _SOLVER_CACHE["quotient"]
+
+
 def scenario_example_2_3() -> None:
     from repro.experiments.example_2_3 import run
 
@@ -108,6 +151,25 @@ def scenario_flow_simulation() -> None:
     simulate(jobs, MaxMinCongestionControl(clos))
 
 
+def scenario_water_filling_fast_xl() -> None:
+    routing, caps = _xl_instance()
+    max_min_fair_fast(routing, caps)
+
+
+def scenario_vectorized_waterfill() -> None:
+    from repro.core.vectorized import waterfill
+
+    compiled, caps_vector = _xl_compiled()
+    waterfill(compiled, caps_vector)
+
+
+def scenario_quotient_exact() -> None:
+    from repro.core.quotient import quotient_max_min
+
+    routing, caps = _quotient_instance()
+    quotient_max_min(routing, caps)
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "example_2_3": scenario_example_2_3,
     "water_filling_exact": scenario_water_filling_exact,
@@ -117,7 +179,16 @@ SCENARIOS: Dict[str, Callable[[], None]] = {
     "two_choice_router": scenario_two_choice_router,
     "local_search": scenario_local_search,
     "flow_simulation": scenario_flow_simulation,
+    "water_filling_fast_xl": scenario_water_filling_fast_xl,
+    "quotient_exact": scenario_quotient_exact,
 }
+
+try:  # The vectorized kernel benches only where numpy is available.
+    import numpy as _numpy  # noqa: F401
+except ImportError:  # pragma: no cover
+    pass
+else:
+    SCENARIOS["vectorized_waterfill"] = scenario_vectorized_waterfill
 
 
 def collect(repeat: int = 3) -> Dict[str, Any]:

@@ -116,8 +116,15 @@ def run_e4(args: argparse.Namespace) -> None:
     from repro.experiments.r2_starvation import starvation_sweep
 
     sizes = _parse_ints(args.sizes) if args.sizes else [3, 4, 5, 6]
+    backend = getattr(args, "backend", None)
     rows = starvation_sweep(
-        sizes, check_local_optimality=False, jobs=getattr(args, "jobs", 1)
+        sizes,
+        check_local_optimality=False,
+        jobs=getattr(args, "jobs", 1),
+        backend=backend,
+        # The O(F·P) bottleneck certificate is fine at the default sizes
+        # but dominates the quotient solve at n ≥ 64.
+        certify=backend != "quotient" or max(sizes) < 32,
     )
     print(
         format_series(
@@ -136,7 +143,10 @@ def run_e4(args: argparse.Namespace) -> None:
 def run_e5(args: argparse.Namespace) -> None:
     from repro.experiments.r3_doom_switch import sweep
 
-    rows = sweep(jobs=getattr(args, "jobs", 1))
+    rows = sweep(
+        jobs=getattr(args, "jobs", 1),
+        backend=getattr(args, "backend", None),
+    )
     print(
         format_series(
             "(n,k)",
@@ -155,7 +165,12 @@ def run_e5(args: argparse.Namespace) -> None:
 def run_e6(args: argparse.Namespace) -> None:
     from repro.experiments.ecmp_simulation import stochastic_comparison
 
-    rows = stochastic_comparison(n=args.n or 3, num_flows=30, seeds=range(3))
+    rows = stochastic_comparison(
+        n=args.n or 3,
+        num_flows=30,
+        seeds=range(3),
+        backend=getattr(args, "backend", None),
+    )
     print(
         format_table(
             ["workload", "router", "seed", "throughput frac", "worst ratio"],
@@ -443,6 +458,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--n", type=int, help="network size (e6)")
     profile.add_argument(
+        "--backend",
+        choices=["reference", "heap", "vectorized", "quotient"],
+        help="max-min solver backend for e4/e5/e6 "
+        "(quotient = exact symmetry reduction, scales to n >= 64)",
+    )
+    profile.add_argument(
         "--trace", help="write the span trees to this JSONL file"
     )
     profile.add_argument(
@@ -471,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ks", help="comma-separated k values (e2)")
     run.add_argument("--sizes", help="comma-separated network sizes (e3/e4)")
     run.add_argument("--n", type=int, help="network size (e6)")
+    run.add_argument(
+        "--backend",
+        choices=["reference", "heap", "vectorized", "quotient"],
+        help="max-min solver backend for e4/e5/e6 "
+        "(quotient = exact symmetry reduction, scales to n >= 64)",
+    )
     run.add_argument(
         "--jobs",
         type=int,

@@ -17,6 +17,7 @@ from repro.core.bottleneck import (
 from repro.core.doom_switch import DoomSwitchResult, doom_switch, doom_switch_routing
 from repro.core.flows import Flow, FlowCollection
 from repro.core.maxmin import UnboundedRateError, max_min_fair, max_min_fair_for_network
+from repro.core.quotient import QuotientInstance, build_quotient, quotient_max_min
 from repro.core.nodes import (
     ClosNode,
     Destination,
@@ -38,6 +39,7 @@ from repro.core.relative import (
     relative_max_min_fair,
 )
 from repro.core.routing import Routing, all_middle_assignments
+from repro.core.solve import BACKENDS, EXACT_BACKENDS, solve_max_min
 from repro.core.throughput import (
     link_disjoint_routing,
     max_throughput_allocation,
@@ -47,9 +49,19 @@ from repro.core.throughput import (
 )
 from repro.core.topology import ClosNetwork, MacroSwitch, Path
 
+from repro.core.vectorized import (
+    CompiledRouting,
+    compile_routing,
+    max_min_fair_vectorized,
+)
+
 __all__ = [
     "Allocation",
+    "BACKENDS",
     "ClosNetwork",
+    "CompiledRouting",
+    "EXACT_BACKENDS",
+    "QuotientInstance",
     "ClosNode",
     "Destination",
     "DoomSwitchResult",
@@ -67,7 +79,9 @@ __all__ = [
     "UnboundedRateError",
     "all_middle_assignments",
     "bottleneck_links",
+    "build_quotient",
     "certify_max_min_fair",
+    "compile_routing",
     "doom_switch",
     "doom_switch_routing",
     "flows_without_bottleneck",
@@ -83,11 +97,14 @@ __all__ = [
     "macro_switch_max_min",
     "max_min_fair",
     "max_min_fair_for_network",
+    "max_min_fair_vectorized",
     "max_throughput_allocation",
     "max_throughput_value",
     "maximum_throughput_matching",
+    "quotient_max_min",
     "ratio_vector",
     "relative_max_min_fair",
+    "solve_max_min",
     "throughput_max_min_fair",
     "throughput_max_throughput",
 ]

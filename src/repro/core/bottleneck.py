@@ -75,6 +75,15 @@ def flows_without_bottleneck(
     """Flows that have **no** bottleneck link (empty iff max-min fair)."""
     loads = link_loads(routing, allocation)
     members = routing.flows_per_link()
+    # "flow's rate is maximal among flows crossing the link" depends only
+    # on the link's maximum rate, so precompute it once per link instead
+    # of rescanning the member list per (flow, link) pair — the n = 64
+    # certifications cross links with thousands of members.
+    link_max: Dict[Link, Rate] = {
+        link: max(allocation.rate(g) for g in flows_on)
+        for link, flows_on in members.items()
+        if flows_on
+    }
     missing: List[Flow] = []
     for flow in routing.flows():
         rate = allocation.rate(flow)
@@ -85,7 +94,7 @@ def flows_without_bottleneck(
                 continue
             if abs(loads[link] - capacity) > tol:
                 continue
-            if all(allocation.rate(g) <= _bump(rate, tol) for g in members[link]):
+            if link_max[link] <= _bump(rate, tol):
                 has_bottleneck = True
                 break
         if not has_bottleneck:

@@ -61,15 +61,28 @@ def doom_switch(
     flows: FlowCollection,
     exact: bool = True,
     dump_policy: str = "least",
+    backend: str = None,
 ) -> DoomSwitchResult:
     """Run Algorithm 1 and compute the max-min fair allocation it induces.
+
+    ``backend`` optionally selects a solver from
+    :data:`repro.core.solve.BACKENDS` (``"quotient"`` makes the exact
+    allocation tractable for the n ≥ 64 Theorem 5.4 constructions);
+    when given, it overrides ``exact``.
 
     >>> from repro.workloads.adversarial import theorem_5_4  # doctest: +SKIP
     """
     result = _run(network, flows, dump_policy)
-    allocation = max_min_fair(
-        result.routing, network.graph.capacities(), exact=exact
-    )
+    if backend is not None:
+        from repro.core.solve import solve_max_min
+
+        allocation = solve_max_min(
+            result.routing, network.graph.capacities(), backend=backend
+        )
+    else:
+        allocation = max_min_fair(
+            result.routing, network.graph.capacities(), exact=exact
+        )
     return DoomSwitchResult(
         result.routing, allocation, result.matched, result.doomed, result.doom_switch
     )

@@ -1,11 +1,11 @@
 """Heap-accelerated water-filling for large float-mode simulations.
 
-The reference implementation (:mod:`repro.core.maxmin`) rescans every
-link each round to find the next saturation level — ``O(L · levels)``.
-For the large stochastic studies (thousands of flows, float rates) this
-module provides an ``O((F·P + L) log L)`` variant using a lazy-deletion
-min-heap of per-link saturation levels (``P`` = path length, 4 in a
-Clos network).
+The reference implementation (:mod:`repro.core.maxmin`) historically
+rescanned every link each round to find the next saturation level —
+``O(L · levels)``.  For the large stochastic studies (thousands of
+flows, float rates) this module provides an ``O((F·P + L) log L)``
+variant using a lazy-deletion min-heap of per-link saturation levels
+(``P`` = path length, 4 in a Clos network).
 
 Lazy deletion is sound here because freezing flows can only *raise* a
 link's saturation level: removing a flow frozen at level ``ℓ`` from a
@@ -13,21 +13,25 @@ link with candidate ``c ≥ ℓ`` leaves ``(residual − ℓ)/(count − 1) ≥ 
 A popped stale entry is therefore always ≤ the link's true level and
 can be re-pushed without missing the global minimum.
 
-The test suite asserts agreement with the reference implementation to
-1e-12 across random instances; the exact-Fraction path intentionally
-stays on the reference implementation (clarity over speed where the
-theorems are checked).
+The loop itself is the shared kernel in
+:func:`repro.core.heapfill.lazy_heap_fill`; this front end performs
+validation and setup, tolerates float noise in staleness checks
+(``stale_tol=1e-15``), and binds the ``fastmaxmin.*`` observability
+counters.  The test suite asserts agreement with the reference
+implementation to 1e-12 across random instances; the exact-Fraction
+path intentionally stays on the reference implementation (clarity over
+speed where the theorems are checked).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Dict, List, Mapping, Set
 
+from repro.errors import UnboundedRateError
 from repro.core.allocation import Allocation, Rate
 from repro.core.flows import Flow
-from repro.core.maxmin import UnboundedRateError, validate_capacities
+from repro.core.heapfill import lazy_heap_fill
+from repro.core.maxmin import validate_capacities
 from repro.core.routing import Link, Routing
 from repro.obs import counter, trace_span
 
@@ -55,12 +59,12 @@ def max_min_fair_fast(
     link_flows: Dict[Link, List[Flow]] = routing.flows_per_link()
     validate_capacities(link_flows, capacities)
     residual: Dict[Link, float] = {}
-    count: Dict[Link, int] = {}
+    unfrozen_count: Dict[Link, int] = {}
     for link, members in link_flows.items():
         capacity = float(capacities[link])
         if capacity != _INF:
             residual[link] = capacity
-            count[link] = len(members)
+            unfrozen_count[link] = len(members)
 
     constrained: Set[Flow] = set()
     for link in residual:
@@ -71,51 +75,24 @@ def max_min_fair_fast(
             f"flows with no finite-capacity link on their path: {unbounded!r}"
         )
 
-    # (level, tiebreak, link): links are heterogeneous tuples that do not
-    # compare with each other, so a monotone counter breaks level ties.
-    tiebreak = itertools.count()
-    heap: List = [
-        (residual[link] / count[link], next(tiebreak), link)
-        for link in residual
-        if count[link]
-    ]
-    heapq.heapify(heap)
-
+    flow_links: Dict[Flow, List[Link]] = {
+        flow: routing.links_of(flow) for flow in flows
+    }
     rates: Dict[Flow, float] = {}
-    frozen: Set[Flow] = set()
     _SOLVES.inc()
     with trace_span("maxmin.water_fill_fast", flows=len(flows)):
-        while len(frozen) < len(flows):
-            level, _, link = heapq.heappop(heap)
-            _POPS.inc()
-            if count.get(link, 0) == 0:
-                _STALE.inc()
-                continue  # fully frozen link; stale entry
-            current = residual[link] / count[link]
-            if current > level + 1e-15:
-                _STALE.inc()
-                heapq.heappush(heap, (current, next(tiebreak), link))
-                continue
-            level = max(0.0, current)
-            # freeze every unfrozen flow on this link at `level`
-            for flow in link_flows[link]:
-                if flow in frozen:
-                    continue
-                rates[flow] = level
-                frozen.add(flow)
-                _FREEZES.inc()
-                for other in routing.links_of(flow):
-                    if other in residual:
-                        residual[other] -= level
-                        count[other] -= 1
-                        if count[other] > 0:
-                            heapq.heappush(
-                                heap,
-                                (
-                                    max(0.0, residual[other]) / count[other],
-                                    next(tiebreak),
-                                    other,
-                                ),
-                            )
+        lazy_heap_fill(
+            flows,
+            link_flows,
+            flow_links,
+            rates,
+            residual,
+            unfrozen_count,
+            zero=0.0,
+            stale_tol=1e-15,
+            pops=_POPS,
+            stale=_STALE,
+            freezes=_FREEZES,
+        )
 
     return Allocation(rates)

@@ -48,6 +48,7 @@ class FlowCollection:
     def __init__(self, flows: Iterable[Flow] = ()) -> None:
         self._flows: List[Flow] = []
         self._seen: set = set()
+        self._pair_counts: Dict[Tuple[Source, Destination], int] = {}
         for flow in flows:
             self.add(flow)
 
@@ -60,17 +61,19 @@ class FlowCollection:
             raise ValueError(f"duplicate flow: {flow!r}")
         self._seen.add(flow)
         self._flows.append(flow)
+        pair = (flow.source, flow.dest)
+        self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
         return flow
 
     def add_pair(self, source: Source, dest: Destination, count: int = 1) -> List[Flow]:
         """Add ``count`` parallel flows between ``source`` and ``dest``.
 
         Tags continue from the number of flows already present on the pair,
-        so successive calls never collide.
+        so successive calls never collide.  Constant time per added flow
+        (a pair-count table, not a rescan) — the adversarial constructions
+        add hundreds of thousands of flows at n = 64.
         """
-        existing = sum(
-            1 for f in self._flows if f.source == source and f.dest == dest
-        )
+        existing = self._pair_counts.get((source, dest), 0)
         added = []
         for offset in range(count):
             added.append(self.add(Flow(source, dest, tag=existing + offset)))

@@ -1,0 +1,141 @@
+"""The shared lazy-deletion water-filling heap kernel.
+
+Both water-filling front ends — the reference implementation's float
+path (:func:`repro.core.maxmin.max_min_fair` with ``exact=False``) and
+the heap-accelerated :func:`repro.core.fastmaxmin.max_min_fair_fast` —
+run the *same* loop: pop the link with the smallest saturation level
+from a min-heap, discard stale entries (a freeze since the push can
+only have *raised* the link's level, so a re-pushed fresh entry never
+misses the global minimum), and freeze every unfrozen flow on the
+saturating link at the popped level.  This module holds that loop once;
+the front ends differ only in validation, setup, and which observability
+counters they increment.
+
+Also home to :class:`Rat`, the unnormalized-rational heap key the exact
+integer-pair water-fill (:func:`repro.core.maxmin._fill_exact`) and the
+symmetry-quotient solver (:mod:`repro.core.quotient`) share.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.core.allocation import Rate
+from repro.core.flows import Flow
+from repro.core.routing import Link
+from repro.obs.metrics import Counter
+
+
+class Rat:
+    """A minimal unnormalized rational used as a heap key.
+
+    :class:`~fractions.Fraction` pays gcd normalization on construction
+    and ABC dispatch on every comparison — per profile, most of the
+    exact-mode water-fill.  Heap keys only ever need ``<`` (and ties
+    fall through to the tiebreak counter), so a bare cross-multiplied
+    comparison on a slotted pair suffices.  Denominators are positive by
+    construction.
+    """
+
+    __slots__ = ("n", "d")
+
+    def __init__(self, n: int, d: int) -> None:
+        self.n = n
+        self.d = d
+
+    def __lt__(self, other: "Rat") -> bool:
+        return self.n * other.d < other.n * self.d
+
+
+def lazy_heap_fill(
+    flows,
+    link_flows: Mapping[Link, List[Flow]],
+    flow_links: Mapping[Flow, List[Link]],
+    rates: Dict[Flow, Rate],
+    residual: Dict[Link, Rate],
+    unfrozen_count: Dict[Link, int],
+    zero: Rate = 0.0,
+    stale_tol: float = 0.0,
+    pops: Optional[Counter] = None,
+    stale: Optional[Counter] = None,
+    rounds_counter: Optional[Counter] = None,
+    saturations: Optional[Counter] = None,
+    freezes: Optional[Counter] = None,
+) -> int:
+    """The lazy-deletion water-filling loop over float (or any ordered
+    numeric) rates; mutates ``rates`` and the bookkeeping dicts in place
+    and returns the number of rounds (distinct freeze levels).
+
+    An entry is stale when the link has fully frozen (count 0) or when
+    freezes since the push raised its level past ``stale_tol``; in the
+    latter case the current level is re-pushed.  Because freezing can
+    never *lower* a link's level, the popped minimum is always
+    trustworthy once fresh, and the sequence of freeze levels is
+    non-decreasing — the allocation is the same as the historical
+    per-round min-scan computed (within float tie-ordering ulps).
+
+    The optional :class:`~repro.obs.metrics.Counter` arguments let each
+    front end keep its own metric names without duplicating the loop.
+    """
+    # (level, tiebreak, link): links are heterogeneous tuples that do
+    # not compare with each other, so a monotone counter breaks ties.
+    tiebreak = itertools.count()
+    heap: List[Tuple] = [
+        (residual[link] / count, next(tiebreak), link)
+        for link, count in unfrozen_count.items()
+        if count
+    ]
+    heapq.heapify(heap)
+
+    frozen: Set[Flow] = set()
+    total = len(flows)
+    rounds = 0
+    last_level: Optional[Rate] = None
+    while len(frozen) < total:
+        if not heap:
+            # Cannot happen: every unfrozen flow sits on at least one
+            # finite link with a positive unfrozen count (itself).
+            raise AssertionError("water-filling invariant violated")
+        level, _, link = heapq.heappop(heap)
+        if pops is not None:
+            pops.inc()
+        count = unfrozen_count[link]
+        if count == 0:
+            if stale is not None:
+                stale.inc()
+            continue  # stale: the link fully froze after the push
+        current = residual[link] / count
+        if current > level + stale_tol:
+            # Stale: freezes since the push raised this link's level.
+            if stale is not None:
+                stale.inc()
+            heapq.heappush(heap, (current, next(tiebreak), link))
+            continue
+        if current < zero:
+            # Float rounding can leave a residual at -1e-16; clamp so
+            # the resulting rates stay non-negative.
+            current = zero
+
+        if last_level is None or current > last_level:
+            rounds += 1
+            if rounds_counter is not None:
+                rounds_counter.inc()
+            last_level = current
+        if saturations is not None:
+            saturations.inc()
+
+        # Freeze every unfrozen flow on the saturating link at `current`.
+        newly_frozen = [f for f in link_flows[link] if f not in frozen]
+        if freezes is not None:
+            freezes.inc(len(newly_frozen))
+        for flow in newly_frozen:
+            rates[flow] = current
+            frozen.add(flow)
+            for other in flow_links[flow]:
+                if other in residual:
+                    residual[other] -= current
+                    unfrozen_count[other] -= 1
+
+    return rounds

@@ -42,10 +42,23 @@ class OptimalAllocation(NamedTuple):
 
 
 def macro_switch_max_min(
-    network: MacroSwitch, flows: FlowCollection, exact: bool = True
+    network: MacroSwitch, flows: FlowCollection, exact: bool = True,
+    backend: Optional[str] = None,
 ) -> Allocation:
-    """``a^MmF``: the (unique) max-min fair allocation in the macro-switch."""
+    """``a^MmF``: the (unique) max-min fair allocation in the macro-switch.
+
+    ``backend`` optionally selects a solver from
+    :data:`repro.core.solve.BACKENDS` (e.g. ``"quotient"`` for large
+    symmetric instances); the default keeps the reference solver with
+    the requested ``exact`` mode.
+    """
     routing = Routing.for_macro_switch(network, flows)
+    if backend is not None:
+        from repro.core.solve import solve_max_min
+
+        return solve_max_min(
+            routing, network.graph.capacities(), backend=backend
+        )
     return max_min_fair(routing, network.graph.capacities(), exact=exact)
 
 

@@ -1,0 +1,305 @@
+"""Exact symmetry-quotient water-filling (the ``quotient`` backend).
+
+The paper's adversarial instances are highly symmetric: permuting the
+servers within a ToR, or the middle switches of a Clos network, maps the
+instance onto itself.  Water-filling respects such symmetries — flows
+related by an automorphism receive equal rates — so the allocation can
+be computed on the *quotient* of the instance under its symmetries and
+lifted back, turning the O(n³)-flow constructions of Theorems 4.3/5.4
+into solves over a handful of equivalence classes.
+
+Rather than enumerate automorphisms, the quotient is found by **color
+refinement** (1-dimensional Weisfeiler–Leman) on the bipartite
+flow–link incidence structure over the finite-capacity links:
+
+- initial link color = its capacity; initial flow color = uniform;
+- each round, a flow's color becomes (its old color, the multiset of
+  its links' colors) and symmetrically for links;
+- iterate to a fixpoint.
+
+The fixpoint is an *equitable partition*: every flow in a class crosses
+the same number ``d(F, L)`` of links from each link class, and every
+link in a class carries the same number ``c(L, F)`` of flows from each
+flow class.  That is exactly the invariant progressive filling needs —
+by induction on freeze rounds, all members of a class have equal rates
+and all links of a class equal residuals/counts, so the quotient
+dynamics (one variable per class, weighted by ``c`` and ``d``) replay
+the per-flow dynamics verbatim.  Arithmetic is pure ``Fraction``:
+lifted rates are **identical** (not approximately equal) to
+:func:`repro.core.maxmin.max_min_fair` with ``exact=True``, which the
+property tests assert class-by-class.
+
+Color refinement never merges flows the automorphism group keeps apart,
+and refining *too little* is impossible at a fixpoint — so correctness
+never depends on finding the full symmetry group; a worst-case
+asymmetric instance simply degenerates to one class per flow and costs
+the same as the reference solver plus the refinement passes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import UnboundedRateError
+from repro.core.allocation import Allocation, Rate
+from repro.core.flows import Flow
+from repro.core.maxmin import validate_capacities
+from repro.core.routing import Link, Routing
+from repro.obs import counter, trace_span
+
+_INF = float("inf")
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_SOLVES = counter("quotient.solves")
+_REFINEMENTS = counter("quotient.refinement_rounds")
+_FLOW_CLASSES = counter("quotient.flow_classes")
+_LINK_CLASSES = counter("quotient.link_classes")
+
+__all__ = ["QuotientInstance", "build_quotient", "quotient_max_min"]
+
+
+class QuotientInstance:
+    """The quotient of a routing instance under color refinement.
+
+    ``flow_classes[i]`` lists the flows of class ``i``;
+    ``link_classes[j]`` the links of class ``j`` with ``capacity[j]``
+    their common capacity.  ``crossing[j][i]`` is ``c(L_j, F_i)``: how
+    many class-``i`` flows cross each *single* class-``j`` link.
+    ``adjacency[i]`` lists ``(j, d)`` pairs: a class-``i`` flow crosses
+    ``d`` class-``j`` links.
+    """
+
+    __slots__ = (
+        "flow_classes",
+        "link_classes",
+        "capacity",
+        "crossing",
+        "adjacency",
+    )
+
+    def __init__(
+        self,
+        flow_classes: List[List[Flow]],
+        link_classes: List[List[Link]],
+        capacity: List[Fraction],
+        crossing: List[Dict[int, int]],
+        adjacency: List[List[Tuple[int, int]]],
+    ) -> None:
+        self.flow_classes = flow_classes
+        self.link_classes = link_classes
+        self.capacity = capacity
+        self.crossing = crossing
+        self.adjacency = adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuotientInstance({len(self.flow_classes)} flow classes, "
+            f"{len(self.link_classes)} link classes)"
+        )
+
+
+def build_quotient(
+    routing: Routing, capacities: Mapping[Link, Rate]
+) -> QuotientInstance:
+    """Color-refine ``routing`` into an equitable quotient instance.
+
+    Only finite-capacity links participate (infinite links never
+    constrain any rate).  Raises
+    :class:`~repro.errors.UnboundedRateError` if some flow crosses only
+    infinite links.
+    """
+    link_flows = routing.flows_per_link()
+    validate_capacities(link_flows, capacities)
+    flows = routing.flows()
+
+    finite: Dict[Link, Fraction] = {}
+    for link in link_flows:
+        capacity = capacities[link]
+        if float(capacity) != _INF:
+            finite[link] = Fraction(capacity)
+
+    flow_links: Dict[Flow, List[Link]] = {}
+    unbounded: List[Flow] = []
+    for flow in flows:
+        mine = [l for l in routing.links_of(flow) if l in finite]
+        if not mine:
+            unbounded.append(flow)
+        flow_links[flow] = mine
+    if unbounded:
+        raise UnboundedRateError(
+            f"flows with no finite-capacity link on their path: {unbounded!r}"
+        )
+
+    # --- color refinement to a fixpoint -----------------------------------
+    # Colors are small ints; each round re-canonicalizes the (old color,
+    # sorted neighbor-color multiset) signatures through a dict.
+    link_color: Dict[Link, int] = {}
+    palette: Dict[Fraction, int] = {}
+    for link, capacity in finite.items():
+        link_color[link] = palette.setdefault(capacity, len(palette))
+    flow_color: Dict[Flow, int] = {flow: 0 for flow in flows}
+
+    while True:
+        _REFINEMENTS.inc()
+        sig_pal: Dict[tuple, int] = {}
+        new_flow = {
+            flow: sig_pal.setdefault(
+                (flow_color[flow],
+                 tuple(sorted(link_color[l] for l in flow_links[flow]))),
+                len(sig_pal),
+            )
+            for flow in flows
+        }
+        flow_stable = len(sig_pal) == len(set(flow_color.values()))
+
+        sig_pal = {}
+        new_link = {
+            link: sig_pal.setdefault(
+                (link_color[link],
+                 tuple(sorted(new_flow[f] for f in link_flows[link]))),
+                len(sig_pal),
+            )
+            for link in finite
+        }
+        link_stable = len(sig_pal) == len(set(link_color.values()))
+
+        flow_color, link_color = new_flow, new_link
+        if flow_stable and link_stable:
+            break
+
+    # --- assemble the quotient --------------------------------------------
+    flow_classes: List[List[Flow]] = []
+    flow_class_of: Dict[Flow, int] = {}
+    index: Dict[int, int] = {}
+    for flow in flows:
+        color = flow_color[flow]
+        if color not in index:
+            index[color] = len(flow_classes)
+            flow_classes.append([])
+        flow_class_of[flow] = index[color]
+        flow_classes[index[color]].append(flow)
+
+    link_classes: List[List[Link]] = []
+    link_class_of: Dict[Link, int] = {}
+    index = {}
+    for link in finite:
+        color = link_color[link]
+        if color not in index:
+            index[color] = len(link_classes)
+            link_classes.append([])
+        link_class_of[link] = index[color]
+        link_classes[index[color]].append(link)
+
+    capacity = [finite[cls[0]] for cls in link_classes]
+    crossing: List[Dict[int, int]] = []
+    for cls in link_classes:
+        counts: Dict[int, int] = {}
+        for f in link_flows[cls[0]]:
+            i = flow_class_of[f]
+            counts[i] = counts.get(i, 0) + 1
+        crossing.append(counts)
+    adjacency: List[List[Tuple[int, int]]] = []
+    for cls in flow_classes:
+        counts = {}
+        for l in flow_links[cls[0]]:
+            j = link_class_of[l]
+            counts[j] = counts.get(j, 0) + 1
+        adjacency.append(sorted(counts.items()))
+
+    _FLOW_CLASSES.inc(len(flow_classes))
+    _LINK_CLASSES.inc(len(link_classes))
+    return QuotientInstance(
+        flow_classes, link_classes, capacity, crossing, adjacency
+    )
+
+
+def _fill_quotient(quotient: QuotientInstance) -> List[Fraction]:
+    """Exact water-fill on the quotient; returns one rate per flow class.
+
+    One *representative link* per link class suffices: its residual and
+    unfrozen-member count evolve identically across the class (the
+    equitable-partition invariant).  The loop is the textbook min-scan —
+    with tens of classes, asymptotics are irrelevant.
+    """
+    n_classes = len(quotient.flow_classes)
+    rates: List[Fraction] = [Fraction(0)] * n_classes
+    frozen = [False] * n_classes
+    residual = list(quotient.capacity)
+    count = [
+        sum(members.values()) for members in quotient.crossing
+    ]
+    remaining = n_classes
+
+    while remaining > 0:
+        lam = None
+        for j, n in enumerate(count):
+            if n <= 0:
+                continue
+            level = residual[j] / n
+            if lam is None or level < lam:
+                lam = level
+        if lam is None:
+            raise AssertionError("water-filling invariant violated")
+        if lam < 0:
+            lam = Fraction(0)
+        # Freeze every unfrozen flow class crossing a saturated class.
+        newly: List[int] = []
+        for j, n in enumerate(count):
+            if n > 0 and residual[j] == lam * n:
+                for i in quotient.crossing[j]:
+                    if not frozen[i]:
+                        frozen[i] = True
+                        newly.append(i)
+        for i in newly:
+            rates[i] = lam
+            remaining -= 1
+            for j, d in quotient.adjacency[i]:
+                crossing = quotient.crossing[j][i]
+                residual[j] -= lam * crossing
+                count[j] -= crossing
+    return rates
+
+
+def quotient_max_min(
+    routing: Routing,
+    capacities: Mapping[Link, Rate],
+    quotient: QuotientInstance = None,
+) -> Allocation:
+    """Exact max-min fair allocation via symmetry quotient.
+
+    Rates are :class:`~fractions.Fraction` and identical to
+    :func:`repro.core.maxmin.max_min_fair` with ``exact=True``.  Pass a
+    pre-built ``quotient`` to skip refinement when re-solving (the
+    quotient depends on capacities, so it is only reusable while
+    capacities are unchanged).
+
+    >>> from repro.core.topology import MacroSwitch
+    >>> from repro.core.flows import FlowCollection
+    >>> ms = MacroSwitch(1)
+    >>> flows = FlowCollection.from_pairs(
+    ...     [(ms.source(1, 1), ms.destination(1, 1)),
+    ...      (ms.source(2, 1), ms.destination(1, 1))])
+    >>> routing = Routing.for_macro_switch(ms, flows)
+    >>> alloc = quotient_max_min(routing, ms.graph.capacities())
+    >>> alloc.sorted_vector()
+    [Fraction(1, 2), Fraction(1, 2)]
+    """
+    if not routing.flows():
+        return Allocation({})
+    _SOLVES.inc()
+    with trace_span(
+        "maxmin.water_fill_quotient", flows=len(routing)
+    ) as span:
+        if quotient is None:
+            quotient = build_quotient(routing, capacities)
+        class_rates = _fill_quotient(quotient)
+        span.set(
+            flow_classes=len(quotient.flow_classes),
+            link_classes=len(quotient.link_classes),
+        )
+    rates: Dict[Flow, Fraction] = {}
+    for members, rate in zip(quotient.flow_classes, class_rates):
+        for flow in members:
+            rates[flow] = rate
+    return Allocation(rates)

@@ -1,0 +1,299 @@
+"""NumPy-vectorized float water-filling (the ``vectorized`` backend).
+
+The heap solvers (:mod:`repro.core.maxmin`, :mod:`repro.core.fastmaxmin`)
+walk flows and links one Python object at a time.  For the large float
+simulations — thousands of flows over a few dozen Clos links — the
+interpreter loop dominates.  This module compiles a routing *once* into a
+CSR-style sparse flow×link incidence (plain int arrays) and then runs
+water-filling as a handful of array operations per round:
+
+- per-link saturation levels via one vectorized divide,
+- the next water level via one ``min``,
+- a tolerance band selecting every link saturating at that level,
+- freezes and residual/count updates via boolean masks and ``bincount``.
+
+Rounds are bounded by the number of finite links (every round saturates
+at least one), so total cost is ``O(rounds · (F·P + L))`` in C instead
+of per-element Python.  The dense adversarial instances — ``Clos(3)``
+carries thousands of flows over 72 finite links — finish in tens of
+rounds regardless of flow count, which is where the kernel shines.
+
+Compilation (:func:`compile_routing`) is pure-Python and costs one pass
+over the routing; callers that re-solve the same routing under changing
+capacities (the flow-level simulator during link degradations) should
+compile once, then call :func:`waterfill` per capacity vector.
+
+NumPy is an optional dependency: import of this module always succeeds,
+and :class:`~repro.errors.BackendUnavailableError` is raised only when a
+solve is attempted without it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+from repro.errors import BackendUnavailableError, UnboundedRateError
+from repro.core.allocation import Allocation, Rate
+from repro.core.flows import Flow
+from repro.core.maxmin import validate_capacities
+from repro.core.routing import Link, Routing
+from repro.obs import counter, trace_span
+
+_INF = float("inf")
+
+#: Relative width of the saturation band: links within
+#: ``level + _BAND·(1 + level)`` of the round's minimum freeze together.
+#: Wide enough to absorb divide rounding, narrow enough (≪ the 1e-12
+#: agreement contract) not to move any rate observably.
+_BAND = 1e-14
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_SOLVES = counter("vectorized.solves")
+_COMPILES = counter("vectorized.compiles")
+_ROUNDS = counter("vectorized.rounds")
+
+__all__ = [
+    "CompiledRouting",
+    "compile_routing",
+    "capacity_vector",
+    "waterfill",
+    "max_min_fair_vectorized",
+]
+
+
+def _require_numpy():
+    if _np is None:
+        raise BackendUnavailableError(
+            "the 'vectorized' backend requires numpy, which is not "
+            "installed; use backend='heap' or 'reference' instead"
+        )
+    return _np
+
+
+class CompiledRouting:
+    """A routing lowered to CSR-style integer incidence arrays.
+
+    ``flows[i]`` is the flow with index ``i``; ``links[j]`` the finite
+    link with index ``j`` (infinite-capacity links never constrain and
+    are dropped at compile time).  ``flow_link[flow_ptr[i]:flow_ptr[i+1]]``
+    are the link indices on flow ``i``'s path; ``link_flow`` /
+    ``link_ptr`` is the transpose.
+    """
+
+    __slots__ = (
+        "flows",
+        "links",
+        "flow_ptr",
+        "flow_link",
+        "link_ptr",
+        "link_flow",
+    )
+
+    def __init__(
+        self,
+        flows: List[Flow],
+        links: List[Link],
+        flow_ptr,
+        flow_link,
+        link_ptr,
+        link_flow,
+    ) -> None:
+        self.flows = flows
+        self.links = links
+        self.flow_ptr = flow_ptr
+        self.flow_link = flow_link
+        self.link_ptr = link_ptr
+        self.link_flow = link_flow
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledRouting({len(self.flows)} flows, "
+            f"{len(self.links)} finite links)"
+        )
+
+
+def compile_routing(
+    routing: Routing, capacities: Mapping[Link, Rate]
+) -> CompiledRouting:
+    """Lower ``routing`` to incidence arrays over its finite links.
+
+    ``capacities`` is consulted only to decide which links are finite —
+    the compiled structure stays valid across capacity *changes* (link
+    degradations) as long as no finite link becomes infinite or vice
+    versa.  Raises :class:`~repro.errors.UnboundedRateError` if some flow
+    crosses only infinite links.
+    """
+    np = _require_numpy()
+    link_flows = routing.flows_per_link()
+    validate_capacities(link_flows, capacities)
+
+    flows = routing.flows()
+    links = [
+        link for link in link_flows if float(capacities[link]) != _INF
+    ]
+    link_index: Dict[Link, int] = {link: j for j, link in enumerate(links)}
+    flow_index: Dict[Flow, int] = {flow: i for i, flow in enumerate(flows)}
+
+    flow_ptr = np.zeros(len(flows) + 1, dtype=np.int64)
+    flow_link_ids: List[int] = []
+    unbounded: List[Flow] = []
+    for i, flow in enumerate(flows):
+        finite = [
+            link_index[link]
+            for link in routing.links_of(flow)
+            if link in link_index
+        ]
+        if not finite:
+            unbounded.append(flow)
+        flow_link_ids.extend(finite)
+        flow_ptr[i + 1] = len(flow_link_ids)
+    if unbounded:
+        raise UnboundedRateError(
+            f"flows with no finite-capacity link on their path: {unbounded!r}"
+        )
+
+    link_ptr = np.zeros(len(links) + 1, dtype=np.int64)
+    link_flow_ids: List[int] = []
+    for j, link in enumerate(links):
+        link_flow_ids.extend(flow_index[f] for f in link_flows[link])
+        link_ptr[j + 1] = len(link_flow_ids)
+
+    _COMPILES.inc()
+    return CompiledRouting(
+        flows,
+        links,
+        flow_ptr,
+        np.asarray(flow_link_ids, dtype=np.int64),
+        link_ptr,
+        np.asarray(link_flow_ids, dtype=np.int64),
+    )
+
+
+def capacity_vector(
+    compiled: CompiledRouting, capacities: Mapping[Link, Rate]
+):
+    """The float capacity array matching ``compiled.links`` order."""
+    np = _require_numpy()
+    return np.asarray(
+        [float(capacities[link]) for link in compiled.links],
+        dtype=np.float64,
+    )
+
+
+def waterfill(compiled: CompiledRouting, caps) -> "Sequence[float]":
+    """Vectorized progressive filling; returns per-flow rates as a
+    float array indexed like ``compiled.flows``.
+
+    Each round: compute every unsaturated link's saturation level
+    ``residual / unfrozen_count``, take the minimum ``λ``, saturate every
+    link within a relative tolerance band of ``λ`` (batching exact ties
+    and divide-rounding twins), freeze their unfrozen flows at ``λ``, and
+    decrement residuals/counts on all links those flows cross via one
+    ``bincount``.  Freeze levels are non-decreasing, so the result is the
+    max-min fair allocation — agreeing with the heap solvers to well
+    under 1e-12.
+    """
+    np = _require_numpy()
+    n_flows = len(compiled.flows)
+    n_links = len(compiled.links)
+    rates = np.zeros(n_flows, dtype=np.float64)
+    if n_flows == 0:
+        return rates
+
+    residual = np.asarray(caps, dtype=np.float64).copy()
+    if residual.shape != (n_links,):
+        raise ValueError(
+            f"capacity vector has shape {residual.shape}, "
+            f"expected ({n_links},)"
+        )
+    count = np.diff(compiled.link_ptr).astype(np.float64)
+    active = np.ones(n_flows, dtype=bool)
+    remaining = n_flows
+    flow_ptr, flow_link = compiled.flow_ptr, compiled.flow_link
+    link_ptr, link_flow = compiled.link_ptr, compiled.link_flow
+    levels = np.empty(n_links, dtype=np.float64)
+
+    _SOLVES.inc()
+    with trace_span("maxmin.water_fill_vectorized", flows=n_flows) as span:
+        rounds = 0
+        while remaining > 0:
+            alive = count > 0
+            if not alive.any():
+                # Cannot happen: every active flow keeps each of its
+                # links' counts positive.
+                raise AssertionError("water-filling invariant violated")
+            levels.fill(_INF)
+            np.divide(residual, count, out=levels, where=alive)
+            lam = float(levels.min())
+            if lam < 0.0:
+                # Float rounding can leave a residual at -1e-16; clamp
+                # so the resulting rates stay non-negative.
+                lam = 0.0
+            sat_idx = np.nonzero(levels <= lam + _BAND * (1.0 + lam))[0]
+
+            # Freeze the active flows on the saturating links.  Each
+            # round touches only those links' member slices (not the
+            # whole incidence), so total gather work across all rounds
+            # is O(nnz).
+            members = np.concatenate(
+                [link_flow[link_ptr[j]:link_ptr[j + 1]] for j in sat_idx]
+            )
+            frozen_ids = members[active[members]]
+            if frozen_ids.size == 0:
+                # Every member of the argmin link was already frozen —
+                # impossible while its count stays positive.
+                raise AssertionError("water-filling invariant violated")
+            frozen_ids = np.unique(frozen_ids)
+            rates[frozen_ids] = lam
+            active[frozen_ids] = False
+            remaining -= int(frozen_ids.size)
+
+            # Remove the frozen flows from every link they cross: a
+            # vectorized multi-slice gather of their CSR rows, then one
+            # bincount.
+            lens = flow_ptr[frozen_ids + 1] - flow_ptr[frozen_ids]
+            total = int(lens.sum())
+            offsets = np.repeat(np.cumsum(lens) - lens, lens)
+            idx = (
+                np.repeat(flow_ptr[frozen_ids], lens)
+                + np.arange(total, dtype=np.int64)
+                - offsets
+            )
+            hit = np.bincount(flow_link[idx], minlength=n_links)
+            residual -= lam * hit
+            count -= hit
+            rounds += 1
+            _ROUNDS.inc()
+        span.set(rounds=rounds)
+
+    return rates
+
+
+def max_min_fair_vectorized(
+    routing: Routing,
+    capacities: Mapping[Link, Rate],
+    compiled: CompiledRouting = None,
+) -> Allocation:
+    """Float max-min fair allocation via the vectorized kernel.
+
+    Semantics identical to :func:`repro.core.maxmin.max_min_fair` with
+    ``exact=False``.  Pass a pre-built ``compiled`` (from
+    :func:`compile_routing`) to skip recompilation when re-solving the
+    same routing under different capacities.
+    """
+    if compiled is None:
+        if not routing.flows():
+            return Allocation({})
+        compiled = compile_routing(routing, capacities)
+    rates = waterfill(compiled, capacity_vector(compiled, capacities))
+    return Allocation(
+        {flow: float(rate) for flow, rate in zip(compiled.flows, rates)}
+    )

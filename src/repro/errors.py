@@ -16,6 +16,7 @@ The hierarchy::
     ├── InfeasibleRoutingError (ValueError)    routing cannot be realized
     │   ├── UnknownFlowError (KeyError)        flow not in the routing
     │   └── DisconnectedFlowError              no surviving path at all
+    ├── BackendUnavailableError (RuntimeError) solver backend cannot run here
     └── ExperimentError                        resilient-runner failures
         ├── StepTimeoutError                   per-step wall clock blown
         └── StepFailedError                    retries exhausted
@@ -82,6 +83,11 @@ class DisconnectedFlowError(InfeasibleRoutingError):
         super().__init__(
             message or f"no surviving path for flows: {self.flows!r}"
         )
+
+
+class BackendUnavailableError(ReproError, RuntimeError):
+    """A requested solver backend cannot run in this environment (e.g.
+    the ``vectorized`` backend without NumPy installed)."""
 
 
 class ExperimentError(ReproError):

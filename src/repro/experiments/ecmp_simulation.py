@@ -72,8 +72,25 @@ def _compare(
     network: ClosNetwork,
     macro_alloc: Allocation,
     routing: Routing,
+    backend: str = None,
 ) -> RouterComparisonRow:
-    alloc = max_min_fair(routing, network.graph.capacities())
+    """Solve the routing's allocation and score it against the macro.
+
+    ``backend`` optionally selects a solver from
+    :data:`repro.core.solve.BACKENDS`.  Float backends (``heap``,
+    ``vectorized``) compare against the exact macro allocation with a
+    1e-9 lexicographic tolerance; exact backends compare exactly.
+    """
+    if backend is not None:
+        from repro.core.solve import solve_max_min, EXACT_BACKENDS
+
+        alloc = solve_max_min(
+            routing, network.graph.capacities(), backend=backend
+        )
+        lex_tol = 0.0 if backend in EXACT_BACKENDS else 1e-9
+    else:
+        alloc = max_min_fair(routing, network.graph.capacities())
+        lex_tol = 0.0
     comparison = compare_to_macro(alloc, macro_alloc)
     mean_ratio = sum(float(v) for v in comparison.ratios.values()) / len(
         comparison.ratios
@@ -87,7 +104,10 @@ def _compare(
         min_rate_ratio=comparison.min_ratio,
         mean_rate_ratio=mean_ratio,
         lex_at_most_macro=(
-            lex_compare(alloc.sorted_vector(), macro_alloc.sorted_vector()) <= 0
+            lex_compare(
+                alloc.sorted_vector(), macro_alloc.sorted_vector(), tol=lex_tol
+            )
+            <= 0
         ),
     )
 
@@ -96,8 +116,14 @@ def stochastic_comparison(
     n: int = 3,
     num_flows: int = 30,
     seeds: Sequence[int] = range(3),
+    backend: str = None,
 ) -> List[RouterComparisonRow]:
-    """E6, stochastic half: three routers across three workload families."""
+    """E6, stochastic half: three routers across three workload families.
+
+    ``backend="vectorized"`` (or ``"heap"``) solves the per-router
+    allocations in floats, the right trade for large ``num_flows``; the
+    macro-switch reference allocation stays exact either way.
+    """
     network = ClosNetwork(n)
     macro_network = MacroSwitch(n)
     rows: List[RouterComparisonRow] = []
@@ -111,12 +137,17 @@ def stochastic_comparison(
             macro_alloc = macro_switch_max_min(macro_network, flows)
             for router, routing in _routers(network, flows, seed).items():
                 rows.append(
-                    _compare(name, router, seed, network, macro_alloc, routing)
+                    _compare(
+                        name, router, seed, network, macro_alloc, routing,
+                        backend=backend,
+                    )
                 )
     return rows
 
 
-def adversarial_comparison(n: int = 3) -> List[RouterComparisonRow]:
+def adversarial_comparison(
+    n: int = 3, backend: str = None
+) -> List[RouterComparisonRow]:
     """E6, worst-case half: the same routers on the Theorem 4.3 flows."""
     instance = theorem_4_3(n)
     macro_alloc = macro_switch_max_min(instance.macro, instance.flows)
@@ -124,14 +155,15 @@ def adversarial_comparison(n: int = 3) -> List[RouterComparisonRow]:
     for router, routing in _routers(instance.clos, instance.flows, seed=0).items():
         rows.append(
             _compare(
-                "theorem_4_3", router, 0, instance.clos, macro_alloc, routing
+                "theorem_4_3", router, 0, instance.clos, macro_alloc, routing,
+                backend=backend,
             )
         )
     return rows
 
 
 def allocation_summaries(
-    n: int = 3, num_flows: int = 30, seed: int = 0
+    n: int = 3, num_flows: int = 30, seed: int = 0, backend: str = None
 ) -> Dict[str, Dict[str, float]]:
     """Scalar summaries (throughput/min/median/max/Jain) per router, one workload."""
     network = ClosNetwork(n)
@@ -143,7 +175,14 @@ def allocation_summaries(
         )
     }
     for router, routing in _routers(network, flows, seed).items():
-        alloc = max_min_fair(routing, network.graph.capacities())
+        if backend is not None:
+            from repro.core.solve import solve_max_min
+
+            alloc = solve_max_min(
+                routing, network.graph.capacities(), backend=backend
+            )
+        else:
+            alloc = max_min_fair(routing, network.graph.capacities())
         result[router] = summarize_rates(alloc)
     return result
 

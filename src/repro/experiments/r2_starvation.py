@@ -91,15 +91,33 @@ class StarvationRow(NamedTuple):
     per_type_rates_match: bool  # Lemmas 4.4 and 4.6 rate tables
 
 
-def _starvation_point(n: int, check_local_optimality: bool = True) -> StarvationRow:
-    """One network size of E4 (module-level: picklable via ``partial``)."""
+def _starvation_point(
+    n: int,
+    check_local_optimality: bool = True,
+    backend: str = None,
+    certify: bool = True,
+) -> StarvationRow:
+    """One network size of E4 (module-level: picklable via ``partial``).
+
+    ``backend`` optionally selects an exact solver from
+    :data:`repro.core.solve.BACKENDS` — ``"quotient"`` exploits the
+    construction's symmetry and extends the sweep to n ≥ 64.
+    ``certify=False`` skips the bottleneck certification (the
+    certificate is O(F·P) but still costs minutes at the largest sizes;
+    the row then reports ``bottleneck_certified=True`` vacuously).
+    """
     instance = theorem_4_3(n)
     prediction = predict(n)
     capacities = instance.clos.graph.capacities()
 
-    macro = macro_switch_max_min(instance.macro, instance.flows)
+    macro = macro_switch_max_min(instance.macro, instance.flows, backend=backend)
     routing = lemma_4_6_routing(instance)
-    alloc = max_min_fair(routing, capacities)
+    if backend is not None:
+        from repro.core.solve import solve_max_min
+
+        alloc = solve_max_min(routing, capacities, backend=backend)
+    else:
+        alloc = max_min_fair(routing, capacities)
 
     rates_match = True
     for type_name in ("type1", "type2", "type3"):
@@ -109,7 +127,11 @@ def _starvation_point(n: int, check_local_optimality: bool = True) -> Starvation
             if alloc.rate(flow) != prediction.lex_max_min_rates[type_name]:
                 rates_match = False
 
-    certified = certify_max_min_fair(routing, alloc, capacities) is None
+    certified = (
+        certify_max_min_fair(routing, alloc, capacities) is None
+        if certify
+        else True
+    )
     locally_optimal = (
         is_local_optimum(instance.clos, routing, objective="lex")
         if check_local_optimality
@@ -133,10 +155,20 @@ def starvation_sweep(
     sizes: Sequence[int] = (3, 4, 5, 6),
     check_local_optimality: bool = True,
     jobs: int = 1,
+    backend: str = None,
+    certify: bool = True,
 ) -> List[StarvationRow]:
-    """E4: the ``1/n`` starvation of the type-3 flow, per network size."""
+    """E4: the ``1/n`` starvation of the type-3 flow, per network size.
+
+    Pass ``backend="quotient"`` (typically with
+    ``check_local_optimality=False``) to run the exact sweep at n ≥ 64
+    via symmetry reduction.
+    """
     point = functools.partial(
-        _starvation_point, check_local_optimality=check_local_optimality
+        _starvation_point,
+        check_local_optimality=check_local_optimality,
+        backend=backend,
+        certify=certify,
     )
     return parallel_map(point, sizes, jobs=jobs)
 

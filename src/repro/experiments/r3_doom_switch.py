@@ -19,6 +19,7 @@ Doom-Switch lower bound) on the sweep.
 
 from __future__ import annotations
 
+import functools
 from fractions import Fraction
 from typing import List, NamedTuple, Sequence, Tuple
 
@@ -47,12 +48,16 @@ class DoomSwitchRow(NamedTuple):
     min_rate_ratio: Fraction  # worst flow's (network rate / macro rate)
 
 
-def _sweep_point(point: Tuple[int, int]) -> DoomSwitchRow:
-    """One (n, k) of the Theorem 5.4 sweep (module-level: picklable)."""
+def _sweep_point(point: Tuple[int, int], backend: str = None) -> DoomSwitchRow:
+    """One (n, k) of the Theorem 5.4 sweep (module-level: picklable).
+
+    ``backend="quotient"`` solves both allocations by symmetry
+    reduction, extending the exact sweep to n ≥ 64.
+    """
     n, k = point
     instance = theorem_5_4(n, k)
-    macro = macro_switch_max_min(instance.macro, instance.flows)
-    result = doom_switch(instance.clos, instance.flows)
+    macro = macro_switch_max_min(instance.macro, instance.flows, backend=backend)
+    result = doom_switch(instance.clos, instance.flows, backend=backend)
     prediction = predict(n, k)
     comparison = compare_to_macro(result.allocation, macro)
     gain = result.allocation.throughput() / macro.throughput()
@@ -81,9 +86,15 @@ def sweep(
         (13, 16),
     ),
     jobs: int = 1,
+    backend: str = None,
 ) -> List[DoomSwitchRow]:
-    """The (n, k) sweep of Theorem 5.4's tight construction."""
-    return parallel_map(_sweep_point, points, jobs=jobs)
+    """The (n, k) sweep of Theorem 5.4's tight construction.
+
+    Pass ``backend="quotient"`` to extend the exact sweep to n ≥ 64
+    (e.g. ``points=((65, 8),)`` — n must be odd).
+    """
+    point = functools.partial(_sweep_point, backend=backend)
+    return parallel_map(point, points, jobs=jobs)
 
 
 class ExactBoundRow(NamedTuple):

@@ -2,9 +2,14 @@
 
 Advances time between *events* (job arrivals and completions) under
 piecewise-constant rates chosen by a policy, and records per-job
-completion times.  The policy is re-consulted at every event — the
-fluid idealization in which congestion control converges instantly,
-which is the regime the paper's rate model (§2.2) describes.
+completion times.  The policy is re-consulted at every event that can
+change the allocation — the fluid idealization in which congestion
+control converges instantly, which is the regime the paper's rate model
+(§2.2) describes.  Events that provably change no link membership or
+capacity (a job finishing at rate zero) reuse the standing rates of a
+policy declaring ``pure_rates``, counted by the ``sim.resolve_skipped``
+observability counter; same-instant arrival bursts are admitted in one
+batch and cost a single re-solve.
 
 The driver is exact for piecewise-constant rates: between events every
 active job's remaining size decreases linearly, and the next completion
@@ -29,6 +34,7 @@ _EVENTS = counter("sim.events")
 _COMPLETIONS = counter("sim.completions")
 _FAILURES = counter("sim.failures_applied")
 _POLICY_CALLS = counter("sim.policy_consultations")
+_RESOLVE_SKIPS = counter("sim.resolve_skipped")
 
 
 class CompletedJob(NamedTuple):
@@ -155,14 +161,24 @@ def _simulate(
         return stop
 
     def complete_finished(rates: Dict[int, float]) -> bool:
-        """Retire every active job whose remaining size reached zero."""
+        """Retire every active job whose remaining size reached zero.
+
+        Returns whether any retirement is *solver-visible*: retiring a
+        job that was being served at a positive rate frees capacity and
+        changes the other jobs' fair shares, so the policy must be
+        re-consulted.  A job that finishes while its rate is zero (its
+        path fully degraded, or a zero-size arrival) leaves every
+        other job's allocation untouched — the caller may keep the
+        current rates.
+        """
         finished = [
-            jid
-            for jid, left in remaining.items()
-            if left <= _TIME_EPS and rates.get(jid, 0.0) > 0
+            jid for jid, left in remaining.items() if left <= _TIME_EPS
         ]
         _COMPLETIONS.inc(len(finished))
+        visible = False
         for jid in finished:
+            if rates.get(jid, 0.0) > 0:
+                visible = True
             job = active.pop(jid)
             del remaining[jid]
             policy.forget(jid)
@@ -175,9 +191,16 @@ def _simulate(
                     slowdown=duration / job.size if job.size > 0 else 1.0,
                 )
             )
-        return bool(finished)
+        return visible
 
     pending_arrivals = len(jobs)
+    # A policy declaring `pure_rates` computes rates from the active job
+    # set and capacities alone, so its last answer stays valid until an
+    # event actually changes link membership or capacities.  Events that
+    # change neither (a job finishing at rate zero) skip the re-solve.
+    pure = bool(getattr(policy, "pure_rates", False))
+    needs_resolve = True
+    rates: Dict[int, float] = {}
     while queue or active:
         if not active and pending_arrivals == 0:
             break  # only failure events remain; nothing left to serve
@@ -188,12 +211,16 @@ def _simulate(
         if max_time is not None and now >= max_time:
             break
 
-        _POLICY_CALLS.inc()
-        rates = policy.rates(active, remaining, now)
+        hook = getattr(policy, "next_wakeup", None)
+        if pure and hook is None and not needs_resolve:
+            _RESOLVE_SKIPS.inc()
+        else:
+            _POLICY_CALLS.inc()
+            rates = policy.rates(active, remaining, now)
+            needs_resolve = False
         # Policies may request re-consultation at a future instant (e.g.
         # periodic re-routing) via an optional `next_wakeup(now)` hook.
         wakeup: Optional[float] = None
-        hook = getattr(policy, "next_wakeup", None)
         if hook is not None and active:
             candidate = hook(now)
             if candidate is not None and candidate > now + _TIME_EPS:
@@ -214,7 +241,8 @@ def _simulate(
             if wakeup is not None:
                 horizon = min(horizon, wakeup)
             drain_until(horizon, rates)
-            complete_finished(rates)
+            if complete_finished(rates):
+                needs_resolve = True
             continue
 
         target = next_event.time
@@ -222,6 +250,7 @@ def _simulate(
             target = min(target, wakeup)
         reached = drain_until(target, rates)
         if complete_finished(rates):
+            needs_resolve = True
             continue  # re-consult the policy before touching the arrival
         if reached >= next_event.time - _TIME_EPS:
             event = queue.pop()
@@ -241,11 +270,30 @@ def _simulate(
                     link_factors[failure.link] = failure.factor
                     _FAILURES.inc()
                 policy.set_link_factors(dict(link_factors))
+                needs_resolve = True
                 continue
+            # Admit the arrival — and, for pure-rates policies, every
+            # other arrival landing at the same instant: no time passes
+            # between them and the rates depend only on the final set,
+            # so a burst costs one re-solve instead of one per job.
+            # (Impure policies may consume state per consultation — e.g.
+            # a re-route epoch — so they keep the per-arrival cadence.)
             job = event.payload
             active[job.job_id] = job
             remaining[job.job_id] = job.size
             pending_arrivals -= 1
+            needs_resolve = True
+            while pure and queue:
+                upcoming = queue.peek()
+                if (
+                    upcoming.kind != "arrival"
+                    or upcoming.time > event.time + _TIME_EPS
+                ):
+                    break
+                job = queue.pop().payload
+                active[job.job_id] = job
+                remaining[job.job_id] = job.size
+                pending_arrivals -= 1
 
     return SimulationResult(
         completed=completed,

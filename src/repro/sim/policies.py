@@ -59,14 +59,47 @@ class MaxMinCongestionControl:
     ``router`` chooses each job's middle switch once, on first sight
     (flow pinning — real networks do not re-route live flows); choices
     are remembered for the job's lifetime.
+
+    ``backend`` selects the float solver: ``"reference"`` (the default,
+    :func:`repro.core.maxmin.max_min_fair`), ``"heap"``
+    (:func:`repro.core.fastmaxmin.max_min_fair_fast`), or
+    ``"vectorized"`` (:mod:`repro.core.vectorized`).  The vectorized
+    backend compiles the routing to incidence arrays and reuses the
+    compilation across events while the active job set (and its pinning)
+    is unchanged — only capacity *values* change under link failures,
+    which costs one vector rebuild, not a recompile.
     """
 
-    def __init__(self, network: ClosNetwork, router: str = "ecmp", seed: int = 0):
+    #: Rates depend only on the active job set, pinning, and capacities —
+    #: never on ``remaining`` or ``now`` — so the simulator may skip
+    #: re-solving events that change none of those.
+    pure_rates = True
+
+    def __init__(
+        self,
+        network: ClosNetwork,
+        router: str = "ecmp",
+        seed: int = 0,
+        backend: str = "reference",
+    ):
+        if backend not in ("reference", "heap", "vectorized"):
+            raise ValueError(
+                f"unknown float backend {backend!r}; expected "
+                "'reference', 'heap', or 'vectorized'"
+            )
         self.network = network
         self.router = router
         self.seed = seed
+        self.backend = backend
         self._pinned: Dict[int, int] = {}  # job id -> middle switch
         self._capacities = network.graph.capacities()
+        self._caps_version = 0
+        # Vectorized-backend compilation cache: valid while the
+        # (job id, middle) assignment set is unchanged.
+        self._compiled = None
+        self._compiled_key = None
+        self._compiled_caps_version = None
+        self._caps_vector = None
 
     def set_link_factors(self, factors) -> None:
         """Apply a failure state: link → retained-capacity fraction.
@@ -81,6 +114,7 @@ class MaxMinCongestionControl:
         self._capacities = degrade_links(
             self.network.graph.capacities(), factors
         )
+        self._caps_version += 1
 
     def _pin(self, active: Mapping[int, FlowJob]) -> None:
         unpinned = [job for jid, job in active.items() if jid not in self._pinned]
@@ -114,13 +148,51 @@ class MaxMinCongestionControl:
         if not active:
             return {}
         self._pin(active)
+        if self.backend == "vectorized":
+            return self._rates_vectorized(active)
         flows = FlowCollection(_job_flow(job) for job in active.values())
         middles = {
             _job_flow(job): self._pinned[jid] for jid, job in active.items()
         }
         routing = Routing.from_middles(self.network, flows, middles)
-        alloc = max_min_fair(routing, self._capacities, exact=False)
+        if self.backend == "heap":
+            from repro.core.fastmaxmin import max_min_fair_fast
+
+            alloc = max_min_fair_fast(routing, self._capacities)
+        else:
+            alloc = max_min_fair(routing, self._capacities, exact=False)
         return {job.tag: alloc.rate(job) for job in flows}
+
+    def _rates_vectorized(self, active: Mapping[int, FlowJob]) -> Dict[int, float]:
+        """Vectorized solve with incidence reuse across events.
+
+        The compiled incidence depends only on which jobs are active and
+        where they are pinned; an event that only changes capacities
+        (failure batches) or job *sizes* reuses it wholesale.
+        """
+        from repro.core import vectorized as _vz
+
+        key = tuple(sorted((jid, self._pinned[jid]) for jid in active))
+        if self._compiled is None or self._compiled_key != key:
+            flows = FlowCollection(_job_flow(job) for job in active.values())
+            middles = {
+                _job_flow(job): self._pinned[jid]
+                for jid, job in active.items()
+            }
+            routing = Routing.from_middles(self.network, flows, middles)
+            self._compiled = _vz.compile_routing(routing, self._capacities)
+            self._compiled_key = key
+            self._compiled_caps_version = None
+        if self._compiled_caps_version != self._caps_version:
+            self._caps_vector = _vz.capacity_vector(
+                self._compiled, self._capacities
+            )
+            self._compiled_caps_version = self._caps_version
+        rates = _vz.waterfill(self._compiled, self._caps_vector)
+        return {
+            flow.tag: float(rate)
+            for flow, rate in zip(self._compiled.flows, rates)
+        }
 
     def forget(self, job_id: int) -> None:
         """Drop routing state for a completed job."""
@@ -139,6 +211,9 @@ class MatchingScheduler:
     def __init__(self, network: ClosNetwork, srpt: bool = True):
         self.network = network
         self.srpt = srpt
+        # SRPT order consults job sizes, so rates can change even when
+        # link membership does not; only the FIFO variant is pure.
+        self.pure_rates = not srpt
 
     def rates(
         self,
@@ -190,6 +265,9 @@ class ProcessorSharing:
     sharing).  Ignores source contention — useful as a sanity baseline
     that the max-min policy must dominate in fairness terms."""
 
+    #: Rates depend only on the active job set.
+    pure_rates = True
+
     def __init__(self, network: ClosNetwork):
         self.network = network
 
@@ -225,6 +303,9 @@ class ReroutingCongestionControl:
     place flows until the scheduler's next pass (the paper's §6
     "data-center routing algorithms" family, in time).
     """
+
+    #: Re-route epochs make rates depend on ``now``; never skippable.
+    pure_rates = False
 
     def __init__(
         self, network: ClosNetwork, interval: float = 1.0, seed: int = 0
