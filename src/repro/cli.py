@@ -33,6 +33,17 @@ manifest written by a sweep that ran with ``REPRO_OBS=1``::
     python -m repro profile e2 --trace e2.jsonl
     REPRO_OBS=1 python -m repro run all --manifest sweep.json
     python -m repro stats sweep.json
+
+Self-checking runtime (see :mod:`repro.validate` and
+``docs/ROBUSTNESS.md``): the global ``--validate {off,cheap,full}``
+flag certifies every solver result produced by any subcommand;
+``fuzz`` cross-checks all backends on adversarial instances and
+quarantines disagreements as replayable bundles; ``replay`` re-runs a
+bundle and delta-debugs it down to a minimal reproducer::
+
+    python -m repro --validate full run e4
+    python -m repro fuzz --seeds 200
+    python -m repro replay quarantine/q-shadow-0123abcd4567.json
 """
 
 from __future__ import annotations
@@ -433,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the paper's experiments from the terminal.",
     )
+    parser.add_argument(
+        "--validate",
+        choices=["off", "cheap", "full"],
+        help="certify every solver result at this level "
+        "(overrides REPRO_VALIDATE; see docs/ROBUSTNESS.md)",
+    )
     sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("list", help="list available experiments")
@@ -567,12 +584,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed median slowdown vs the baseline (0.25 = 25%%)",
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="chaos-fuzz the solver backends; quarantine any disagreement",
+    )
+    fuzz.add_argument(
+        "--seeds",
+        type=int,
+        default=50,
+        help="number of deterministic fuzz seeds to explore (default 50)",
+    )
+    fuzz.add_argument(
+        "--backends",
+        help="comma-separated backends to cross-check "
+        "(default: every non-reference backend)",
+    )
+    fuzz.add_argument(
+        "--quarantine-dir",
+        help="write failure bundles here (default: REPRO_QUARANTINE_DIR "
+        "or ./quarantine)",
+    )
+    fuzz.add_argument(
+        "--no-churn",
+        dest="churn",
+        action="store_false",
+        default=True,
+        help="skip the flowsim churn-snapshot instances (static only)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-run a quarantine bundle; minimize it if it reproduces",
+    )
+    replay.add_argument("bundle", help="path to a q-*.json bundle")
+    replay.add_argument(
+        "--no-minimize",
+        dest="minimize",
+        action="store_false",
+        default=True,
+        help="skip delta-debugging the flow set of a reproducing bundle",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.validate:
+        from repro.validate import set_validation_level
+
+        set_validation_level(args.validate)
 
     if args.command == "list" or args.command is None:
         print(
@@ -611,8 +674,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tolerance=args.tolerance,
         )
 
+    if args.command == "fuzz":
+        return _fuzz_command(args)
+
+    if args.command == "replay":
+        return _replay_command(args)
+
     parser.print_help()
     return 2
+
+
+def _fuzz_command(args: argparse.Namespace) -> int:
+    """The ``fuzz`` subcommand: cross-check all backends on adversarial
+    instances; exit 1 if any disagreement or certificate failure."""
+    from repro.chaos import fuzz
+
+    backends = (
+        [b.strip() for b in args.backends.split(",") if b.strip()]
+        if args.backends
+        else None
+    )
+    report = fuzz(
+        args.seeds,
+        backends=backends,
+        directory=args.quarantine_dir,
+        churn_every=5 if args.churn else 0,
+    )
+    print(
+        f"fuzz: {report.seeds} seeds, {report.instances} instances, "
+        f"{len(report.failures)} failure(s)"
+    )
+    if not report.failures:
+        return 0
+    print(
+        format_table(
+            ["seed", "instance", "backend", "kind", "bundle"],
+            [
+                [f["seed"], f["instance"], f["backend"], f["kind"],
+                 f["bundle"] or "(write failed)"]
+                for f in report.failures
+            ],
+            title="fuzz failures (each quarantined for replay)",
+        ),
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _replay_command(args: argparse.Namespace) -> int:
+    """The ``replay`` subcommand: re-run a bundle; exit 1 if it still
+    reproduces on this machine."""
+    from repro.io.serialize import ScenarioError
+    from repro.quarantine import load_bundle, replay
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ScenarioError) as error:
+        print(f"cannot load bundle: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"replaying {args.bundle}: reason={bundle.reason!r} "
+        f"backend={bundle.backend!r} flows={len(bundle.routing)}"
+    )
+    result = replay(bundle, minimize=args.minimize)
+    if result.stored_failures:
+        print("stored rates fail their certificate:")
+        for failure in result.stored_failures:
+            print(f"  - {failure}")
+    if not result.reproduced:
+        print("live re-run is healthy: failure does not reproduce here")
+        return 0
+    print("live re-run still fails:")
+    for failure in result.live_failures:
+        print(f"  - {failure}")
+    if result.minimized_path is not None:
+        print(
+            f"minimized to {result.minimized_flows} flow(s): "
+            f"{result.minimized_path}"
+        )
+    else:
+        print(f"reproducer has {result.minimized_flows} flow(s)")
+    return 1
 
 
 # ----------------------------------------------------------------------

@@ -153,6 +153,17 @@ class AllocationCache:
         fingerprint = routing.fingerprint()
         found = self.get(fingerprint, capacities, exact)
         if found is not None:
+            # Misses are certified by the solver itself; at `full`,
+            # re-certify hits too — a stale or corrupted entry (e.g. a
+            # capacities dict mutated in place against the documented
+            # contract) must not leak into experiments unchecked.
+            from repro.validate import validate_allocation, validation_level
+
+            if validation_level() == "full":
+                validate_allocation(
+                    routing, capacities, found,
+                    level="full", context="cache.hit",
+                )
             return found
         allocation = max_min_fair(routing, capacities, exact=exact)
         return self.put(fingerprint, capacities, exact, allocation)

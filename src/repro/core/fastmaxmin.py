@@ -95,4 +95,9 @@ def max_min_fair_fast(
             freezes=_FREEZES,
         )
 
+    from repro.validate import validate_structure
+
+    validate_structure(
+        link_flows, flow_links, rates, capacities, context="maxmin.heap"
+    )
     return Allocation(rates)

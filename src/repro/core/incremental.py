@@ -205,6 +205,20 @@ class MoveEvaluator:
             unfrozen_count,
             self._zero,
         )
+        from repro.validate import validate_structure, validation_level
+
+        # Certify only at `full`: move evaluation is the search layers'
+        # hot loop, and the patched occupancy never materializes a
+        # Routing, so the structure-level certifier runs in place.
+        if validation_level() == "full":
+            validate_structure(
+                self._link_flows,
+                self._flow_links,
+                rates,
+                self.capacities,
+                level="full",
+                context="incremental.move",
+            )
         return Allocation(rates)
 
     def _patch(self, flow: Flow, old_m: int, new_m: int) -> None:

@@ -172,6 +172,12 @@ def max_min_fair(
         )
         span.set(rounds=rounds)
 
+    from repro.validate import validate_structure
+
+    validate_structure(
+        link_flows, flow_links, rates, capacities,
+        context="maxmin.reference",
+    )
     return Allocation(rates)
 
 

@@ -302,4 +302,44 @@ def quotient_max_min(
     for members, rate in zip(quotient.flow_classes, class_rates):
         for flow in members:
             rates[flow] = rate
-    return Allocation(rates)
+    allocation = Allocation(rates)
+    from repro.validate import (
+        record_check,
+        validate_allocation,
+        validation_level,
+    )
+
+    level = validation_level()
+    if level == "full":
+        # The independent certificate: re-derive feasibility and the
+        # bottleneck condition on the *lifted* instance.
+        validate_allocation(
+            routing, capacities, allocation,
+            level="full", tol=0.0, context="maxmin.quotient",
+        )
+    elif level == "cheap":
+        # Certify feasibility at quotient granularity: rates are
+        # constant on flow classes by construction, and every class-j
+        # link is crossed by exactly crossing[j][i] class-i flows, so
+        # class-level loads equal per-link loads.  O(quotient nnz) —
+        # validating the lifted instance instead would cost O(full nnz)
+        # and forfeit the quotient backend's entire speedup.
+        failures = []
+        for i, rate in enumerate(class_rates):
+            if rate < 0:
+                failures.append(
+                    f"negative rate {rate!r} for flow class {i}"
+                )
+        if not failures:
+            for j, cap in enumerate(quotient.capacity):
+                load = sum(
+                    class_rates[i] * c
+                    for i, c in quotient.crossing[j].items()
+                )
+                if load > cap:
+                    failures.append(
+                        f"link class {j} overloaded: load {load!r} > "
+                        f"capacity {cap!r}"
+                    )
+        record_check("cheap", "maxmin.quotient", failures)
+    return allocation

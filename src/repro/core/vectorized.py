@@ -61,6 +61,7 @@ __all__ = [
     "CompiledRouting",
     "compile_routing",
     "capacity_vector",
+    "incidence_stale",
     "waterfill",
     "max_min_fair_vectorized",
 ]
@@ -82,7 +83,10 @@ class CompiledRouting:
     link with index ``j`` (infinite-capacity links never constrain and
     are dropped at compile time).  ``flow_link[flow_ptr[i]:flow_ptr[i+1]]``
     are the link indices on flow ``i``'s path; ``link_flow`` /
-    ``link_ptr`` is the transpose.
+    ``link_ptr`` is the transpose.  ``infinite_links`` records the
+    traversed links that were *infinite* at compile time (and hence
+    dropped from the incidence) so :func:`incidence_stale` can detect a
+    later capacity change flipping the finite-link membership.
     """
 
     __slots__ = (
@@ -92,6 +96,7 @@ class CompiledRouting:
         "flow_link",
         "link_ptr",
         "link_flow",
+        "infinite_links",
     )
 
     def __init__(
@@ -102,6 +107,7 @@ class CompiledRouting:
         flow_link,
         link_ptr,
         link_flow,
+        infinite_links=(),
     ) -> None:
         self.flows = flows
         self.links = links
@@ -109,6 +115,7 @@ class CompiledRouting:
         self.flow_link = flow_link
         self.link_ptr = link_ptr
         self.link_flow = link_flow
+        self.infinite_links = frozenset(infinite_links)
 
     def __len__(self) -> int:
         return len(self.flows)
@@ -138,6 +145,9 @@ def compile_routing(
     flows = routing.flows()
     links = [
         link for link in link_flows if float(capacities[link]) != _INF
+    ]
+    infinite = [
+        link for link in link_flows if float(capacities[link]) == _INF
     ]
     link_index: Dict[Link, int] = {link: j for j, link in enumerate(links)}
     flow_index: Dict[Flow, int] = {flow: i for i, flow in enumerate(flows)}
@@ -174,7 +184,30 @@ def compile_routing(
         np.asarray(flow_link_ids, dtype=np.int64),
         link_ptr,
         np.asarray(link_flow_ids, dtype=np.int64),
+        infinite_links=infinite,
     )
+
+
+def incidence_stale(
+    compiled: CompiledRouting, capacities: Mapping[Link, Rate]
+) -> bool:
+    """Whether ``capacities`` invalidates ``compiled``'s link membership.
+
+    The compiled incidence freezes *which* links are finite; capacity
+    changes that only rescale finite links keep it valid, but a link
+    crossing the finite/infinite boundary (a total link failure modeled
+    as infinite, or an infinite interior link acquiring a budget) does
+    not.  Callers re-solving under evolving capacities (the flow-level
+    simulator replaying a :class:`~repro.failures.schedule.FailureSchedule`)
+    must recompile when this returns True.
+    """
+    for link in compiled.links:
+        if float(capacities[link]) == _INF:
+            return True
+    for link in compiled.infinite_links:
+        if float(capacities[link]) != _INF:
+            return True
+    return False
 
 
 def capacity_vector(
@@ -274,7 +307,48 @@ def waterfill(compiled: CompiledRouting, caps) -> "Sequence[float]":
             _ROUNDS.inc()
         span.set(rounds=rounds)
 
+    _check_waterfill(compiled, np.asarray(caps, dtype=np.float64), rates)
     return rates
+
+
+def _check_waterfill(compiled: CompiledRouting, caps, rates) -> None:
+    """The ``cheap``-level certificate, vectorized.
+
+    Runs whenever validation is enabled (``full`` adds nothing here —
+    the bottleneck certificate needs flow/link objects and lives in the
+    :class:`~repro.core.allocation.Allocation`-returning entry points).
+    NaN/overflow detection and per-link feasibility are pure array ops
+    so the check stays inside the bench budget on the hot simulation
+    path.
+    """
+    from repro import validate as _validate
+
+    level = _validate.validation_level()
+    if level == "off":
+        return
+    np = _np
+    failures = []
+    if not np.isfinite(rates).all():
+        bad = [
+            compiled.flows[i]
+            for i in np.nonzero(~np.isfinite(rates))[0][:5]
+        ]
+        failures.append(f"non-finite (NaN/inf) rates for flows: {bad!r}")
+    elif rates.size and float(rates.min()) < 0.0:
+        failures.append(f"negative rates (min {float(rates.min())!r})")
+    else:
+        weights = np.repeat(rates, np.diff(compiled.flow_ptr))
+        loads = np.bincount(
+            compiled.flow_link, weights=weights, minlength=len(compiled.links)
+        )
+        slack = caps + _validate.FLOAT_TOL * (1.0 + np.abs(caps))
+        over = np.nonzero(loads > slack)[0]
+        for j in over[:5]:
+            failures.append(
+                f"link {compiled.links[j]!r} overloaded: load "
+                f"{float(loads[j])!r} > capacity {float(caps[j])!r}"
+            )
+    _validate.record_check("cheap", "maxmin.vectorized", failures)
 
 
 def max_min_fair_vectorized(
@@ -294,6 +368,16 @@ def max_min_fair_vectorized(
             return Allocation({})
         compiled = compile_routing(routing, capacities)
     rates = waterfill(compiled, capacity_vector(compiled, capacities))
-    return Allocation(
+    allocation = Allocation(
         {flow: float(rate) for flow, rate in zip(compiled.flows, rates)}
     )
+    from repro import validate as _validate
+
+    # waterfill already ran the cheap array checks; only the full-level
+    # bottleneck certificate needs the allocation-level pass.
+    if _validate.validation_level() == "full":
+        _validate.validate_allocation(
+            routing, capacities, allocation,
+            level="full", context="maxmin.vectorized",
+        )
+    return allocation

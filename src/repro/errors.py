@@ -17,6 +17,8 @@ The hierarchy::
     │   ├── UnknownFlowError (KeyError)        flow not in the routing
     │   └── DisconnectedFlowError              no surviving path at all
     ├── BackendUnavailableError (RuntimeError) solver backend cannot run here
+    ├── CertificateError                       solver output failed validation
+    │   └── SolverDisagreementError            backends returned different rates
     └── ExperimentError                        resilient-runner failures
         ├── StepTimeoutError                   per-step wall clock blown
         └── StepFailedError                    retries exhausted
@@ -88,6 +90,29 @@ class DisconnectedFlowError(InfeasibleRoutingError):
 class BackendUnavailableError(ReproError, RuntimeError):
     """A requested solver backend cannot run in this environment (e.g.
     the ``vectorized`` backend without NumPy installed)."""
+
+
+class CertificateError(ReproError):
+    """A computed allocation failed an invariant certificate.
+
+    Raised by :mod:`repro.validate` when a solver result is infeasible,
+    numerically corrupt, or not max-min fair (no bottleneck link for
+    some flow).  ``failures`` lists every violated invariant;
+    ``context`` names the solver path that produced the allocation.
+    """
+
+    def __init__(self, context: str, failures) -> None:
+        self.context = context
+        self.failures = list(failures)
+        detail = "; ".join(self.failures[:3])
+        more = len(self.failures) - 3
+        if more > 0:
+            detail += f" (+{more} more)"
+        super().__init__(f"certificate failure in {context}: {detail}")
+
+
+class SolverDisagreementError(CertificateError):
+    """Two solver backends disagreed on the same instance's rates."""
 
 
 class ExperimentError(ReproError):

@@ -152,6 +152,15 @@ def route_with_failures(
         )
 
     routing = Routing.from_middles(network, connected, middles)
+    from repro.validate import validation_level
+
+    # At `full` validation, audit the repaired routing's well-formedness
+    # before it feeds a solver: every path must exist in the (healthy)
+    # topology graph and join its flow's endpoints.  The repair loop
+    # above moves flows between middles aggressively; this is the
+    # independent check that no patch step produced a broken path.
+    if validation_level() == "full":
+        routing.validate(network.graph)
     return ResilientRouting(
         routing=routing,
         sacrificed=sacrificed,

@@ -173,10 +173,34 @@ class Scenario:
             return cls.from_json(handle.read())
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a rename to disk by fsyncing the containing directory.
+
+    ``os.replace`` makes the swap atomic for concurrent *readers*, but
+    the new directory entry itself lives in the page cache until the
+    directory inode is synced — a SIGKILL (or power loss) immediately
+    after the rename can surface the *old* file on restart.  Runner
+    manifests and quarantine bundles both rely on rename-then-sync
+    durability, so both atomic writers call this after replacing.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms that cannot open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # the entry is still atomic, merely not yet durable
+    finally:
+        os.close(fd)
+
+
 def write_json_atomic(path: str, document: Dict[str, Any]) -> str:
     """Write ``document`` as JSON via rename, so readers never see a torn
     file — a crash mid-write leaves either the old checkpoint or the new
     one, which is what lets the resilient runner resume after SIGKILL.
+    The temp file is fsynced before the rename and the directory after
+    it, so the *new* content is durable once this returns.
     Returns ``path``.
     """
     directory = os.path.dirname(os.path.abspath(path))
@@ -197,6 +221,7 @@ def write_json_atomic(path: str, document: Dict[str, Any]) -> str:
         except OSError:
             pass
         raise
+    _fsync_directory(directory)
     return path
 
 
@@ -214,8 +239,9 @@ def write_jsonl_atomic(path: str, records) -> str:
 
     One compact JSON document per line (the trace-export format of
     :mod:`repro.obs`), written via the same rename dance as
-    :func:`write_json_atomic` so a crash never leaves a torn file.
-    Returns ``path``.
+    :func:`write_json_atomic` — temp file fsynced before the rename,
+    directory fsynced after — so a crash never leaves a torn file and
+    the rename itself survives SIGKILL.  Returns ``path``.
     """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
@@ -236,6 +262,7 @@ def write_jsonl_atomic(path: str, records) -> str:
         except OSError:
             pass
         raise
+    _fsync_directory(directory)
     return path
 
 

@@ -37,7 +37,12 @@ from io import StringIO
 from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO
 
 from repro import obs
-from repro.errors import ExperimentError, StepFailedError, StepTimeoutError
+from repro.errors import (
+    CertificateError,
+    ExperimentError,
+    StepFailedError,
+    StepTimeoutError,
+)
 from repro.io.serialize import read_json, write_json_atomic
 
 MANIFEST_FORMAT = "repro-run-manifest"
@@ -119,9 +124,15 @@ def run_step(
     """Run ``fn`` under a wall-clock budget with deterministic retries.
 
     A timeout is terminal (the step is deterministic — running it again
-    under the same budget would time out again); any other exception is
-    retried up to ``retries`` times with exponential backoff
-    (``backoff * 2**attempt`` seconds).  Exhausted retries raise
+    under the same budget would time out again), and so is a
+    :class:`~repro.errors.CertificateError`: a certificate rejects the
+    step's *answer*, not its execution, and the same seeded computation
+    would produce the same rejected answer on every retry.  Certificate
+    failures are wrapped immediately in
+    :class:`~repro.errors.StepFailedError` so a ``keep_going`` sweep
+    records them and moves on.  Any other exception is retried up to
+    ``retries`` times with exponential backoff (``backoff * 2**attempt``
+    seconds).  Exhausted retries raise
     :class:`~repro.errors.StepFailedError` wrapping the last cause.
     """
     if retries < 0:
@@ -140,6 +151,8 @@ def run_step(
             )
         except StepTimeoutError:
             raise
+        except CertificateError as error:
+            raise StepFailedError(name, attempt, error) from error
         except Exception as error:  # deliberate: retry any step failure
             last_error = error
             if attempt <= retries:
@@ -166,6 +179,10 @@ class StepRecord:
     attempts: int = 0
     duration: float = 0.0
     error: Optional[str] = None
+    #: The exception class behind ``error`` (e.g. ``"CertificateError"``),
+    #: so sweep post-mortems can filter certificate rejections from
+    #: timeouts and crashes without parsing message text.
+    error_type: Optional[str] = None
     #: Captured stdout of the completed step (replayed on resume).
     output: Optional[str] = None
     #: Span tree of the step (only when ``repro.obs`` was enabled).
@@ -182,8 +199,11 @@ class StepRecord:
             "error": self.error,
             "output": self.output,
         }
-        # Observability fields appear only when tracing ran, so manifests
-        # written with REPRO_OBS off stay byte-identical to pre-obs ones.
+        # Optional fields appear only when set, so manifests written by
+        # clean runs (or with REPRO_OBS off) stay byte-identical to
+        # pre-feature ones.
+        if self.error_type is not None:
+            document["error_type"] = self.error_type
         if self.trace is not None:
             document["trace"] = self.trace
         if self.metrics is not None:
@@ -198,6 +218,7 @@ class StepRecord:
             attempts=int(data.get("attempts", 0)),
             duration=float(data.get("duration", 0.0)),
             error=data.get("error"),
+            error_type=data.get("error_type"),
             output=data.get("output"),
             trace=data.get("trace"),
             metrics=data.get("metrics"),
@@ -350,6 +371,7 @@ class ResilientRunner:
 
             record.status = RUNNING
             record.error = None
+            record.error_type = None
             self._checkpoint()
 
             buffer = StringIO()
@@ -371,14 +393,21 @@ class ResilientRunner:
             except StepTimeoutError as error:
                 record.status = TIMEOUT
                 record.error = str(error)
+                record.error_type = type(error).__name__
                 record.attempts += 1
             except StepFailedError as error:
                 record.status = FAILED
                 record.error = str(error.cause)
+                record.error_type = (
+                    type(error.cause).__name__
+                    if error.cause is not None
+                    else type(error).__name__
+                )
                 record.attempts = error.attempts
             except Exception as error:  # pragma: no cover - defensive
                 record.status = FAILED
                 record.error = str(error)
+                record.error_type = type(error).__name__
                 record.attempts += 1
             else:
                 record.status = OK

@@ -173,7 +173,19 @@ class MaxMinCongestionControl:
         from repro.core import vectorized as _vz
 
         key = tuple(sorted((jid, self._pinned[jid]) for jid in active))
-        if self._compiled is None or self._compiled_key != key:
+        recompile = self._compiled is None or self._compiled_key != key
+        if (
+            not recompile
+            and self._compiled_caps_version != self._caps_version
+            and _vz.incidence_stale(self._compiled, self._capacities)
+        ):
+            # A failure event changed capacity *values* without changing
+            # the active set, which normally reuses the incidence — but
+            # if the change flipped a traversed link between finite and
+            # infinite, the compiled finite-link membership is stale and
+            # water-filling over it would silently mis-allocate.
+            recompile = True
+        if recompile:
             flows = FlowCollection(_job_flow(job) for job in active.values())
             middles = {
                 _job_flow(job): self._pinned[jid]

@@ -233,3 +233,114 @@ class TestStatsCommand:
 
     def test_stats_missing_manifest_errors(self, capsys, tmp_path):
         assert main(["stats", str(tmp_path / "nope.json")]) == 2
+
+
+@pytest.fixture
+def quarantine_dir(monkeypatch, tmp_path):
+    directory = tmp_path / "quarantine"
+    monkeypatch.setenv("REPRO_QUARANTINE_DIR", str(directory))
+    monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+    from repro.validate import set_validation_level
+
+    set_validation_level(None)
+    yield directory
+    set_validation_level(None)
+
+
+class TestValidateFlag:
+    def test_validate_flag_sets_level(self, capsys, quarantine_dir):
+        from repro.validate import validation_level
+
+        assert main(["--validate", "full", "list"]) == 0
+        assert validation_level() == "full"
+
+    def test_parser_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--validate", "paranoid", "list"])
+
+
+class TestFuzzCommand:
+    def test_clean_fuzz_exits_zero(self, capsys, quarantine_dir):
+        code = main(["fuzz", "--seeds", "3", "--no-churn"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out
+
+    def test_corrupt_backend_exits_nonzero(
+        self, capsys, quarantine_dir, monkeypatch
+    ):
+        import repro.core.fastmaxmin as fastmaxmin_module
+
+        original = fastmaxmin_module.max_min_fair_fast
+
+        def skewed(routing, capacities):
+            allocation = original(routing, capacities)
+            rates = allocation.rates()
+            victim = next(iter(rates))
+            rates[victim] = rates[victim] * 3 + 0.25
+            return type(allocation)(rates)
+
+        monkeypatch.setattr(fastmaxmin_module, "max_min_fair_fast", skewed)
+        code = main(
+            ["fuzz", "--seeds", "2", "--backends", "heap", "--no-churn"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "heap" in captured.err
+        assert list(quarantine_dir.glob("*.json"))
+
+
+class TestReplayCommand:
+    def test_missing_bundle_exits_two(self, capsys, quarantine_dir):
+        code = main(["replay", str(quarantine_dir / "nope.json")])
+        assert code == 2
+        assert "cannot load bundle" in capsys.readouterr().err
+
+    def test_healthy_bundle_exits_zero(self, capsys, quarantine_dir, clos2):
+        from repro.quarantine import write_bundle
+        from tests.helpers import random_flows, random_routing
+
+        flows = random_flows(clos2, 5, seed=1)
+        routing = random_routing(clos2, flows, seed=1)
+        path = write_bundle(
+            routing, clos2.graph.capacities(), "falsealarm",
+            "reference", True,
+        )
+        code = main(["replay", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "does not reproduce" in out
+
+    def test_reproducing_bundle_exits_one_and_minimizes(
+        self, capsys, quarantine_dir, clos2, monkeypatch
+    ):
+        pytest.importorskip("numpy")
+        import repro.core.vectorized as vectorized_module
+        from repro.validate import validation
+
+        original = vectorized_module.waterfill
+
+        def doubled(compiled, caps):
+            with validation("off"):
+                rates = original(compiled, caps)
+            return rates * 2.0
+
+        monkeypatch.setattr(vectorized_module, "waterfill", doubled)
+        from repro.core.solve import solve_max_min
+        from repro.validate import validation
+        from tests.helpers import random_flows, random_routing
+
+        flows = random_flows(clos2, 5, seed=8)
+        routing = random_routing(clos2, flows, seed=8)
+        with validation("full"):
+            solve_max_min(
+                routing, clos2.graph.capacities(),
+                backend="auto", exact=False,
+            )
+        bundles = list(quarantine_dir.glob("q-certificate-*.json"))
+        assert len(bundles) == 1
+        code = main(["replay", str(bundles[0])])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "still fails" in out
+        assert "minimized to 1 flow(s)" in out

@@ -263,3 +263,81 @@ class TestKillResume:
         with open(log) as handle:
             executions = handle.read().split()
         assert executions == ["s1", "s2", "s3", "s3", "s4", "s5"]
+
+
+class TestErrorTypes:
+    """``StepRecord.error_type`` names the exception class behind a
+    failure so manifest post-mortems can distinguish a certificate
+    rejection from an infrastructure crash without parsing messages."""
+
+    def test_failed_step_records_exception_class(self):
+        def bad():
+            raise ValueError("exploded")
+
+        runner = ResilientRunner(stream=io.StringIO())
+        runner.run({"bad": bad})
+        record = runner.records[0]
+        assert record.status == FAILED
+        assert record.error_type == "ValueError"
+
+    def test_timeout_records_exception_class(self):
+        import time
+
+        runner = ResilientRunner(timeout=0.1, stream=io.StringIO())
+        runner.run({"hang": lambda: time.sleep(5)})
+        record = runner.records[0]
+        assert record.status == TIMEOUT
+        assert record.error_type == "StepTimeoutError"
+
+    def test_ok_step_omits_error_type_from_manifest(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        manifest = RunManifest(path)
+        runner = ResilientRunner(manifest=manifest, stream=io.StringIO())
+        runner.run({"good": lambda: 1})
+        saved = manifest.steps["good"].to_dict()
+        assert "error_type" not in saved  # byte-compat with old manifests
+
+    def test_error_type_round_trips_through_manifest(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        manifest = RunManifest(path)
+        runner = ResilientRunner(manifest=manifest, stream=io.StringIO())
+        runner.run({"bad": lambda: (_ for _ in ()).throw(KeyError("x"))})
+        reloaded = RunManifest.load(path)
+        assert reloaded.steps["bad"].error_type == "KeyError"
+
+    def test_certificate_error_is_terminal(self):
+        from repro.errors import CertificateError
+
+        calls = []
+
+        def rejected():
+            calls.append(1)
+            raise CertificateError("test.step", ["link overloaded"])
+
+        runner = ResilientRunner(
+            retries=3, backoff=0.0, stream=io.StringIO()
+        )
+        runner.run({"rejected": rejected})
+        record = runner.records[0]
+        # Deterministic answer: retrying would be rejected again.
+        assert len(calls) == 1
+        assert record.status == FAILED
+        assert record.attempts == 1
+        assert record.error_type == "CertificateError"
+
+    def test_keep_going_continues_past_certificate_failure(self):
+        from repro.errors import CertificateError
+
+        ran = []
+
+        def rejected():
+            raise CertificateError("test.step", ["starved flow"])
+
+        runner = ResilientRunner(stream=io.StringIO())
+        runner.run(
+            {"rejected": rejected, "after": lambda: ran.append("after")}
+        )
+        assert ran == ["after"]
+        assert runner.exit_code() == 1
+        assert runner.records[0].error_type == "CertificateError"
+        assert runner.records[1].status == OK

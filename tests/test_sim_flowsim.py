@@ -293,3 +293,151 @@ class TestReroutingPolicy:
         pinned = [r for r in rows if r.interval == float("inf")][0]
         rerouted = [r for r in rows if r.interval == 0.5][0]
         assert rerouted.mean_fct <= pinned.mean_fct * 1.05
+
+
+class TestIncidenceStaleness:
+    """The vectorized policy's compiled incidence freezes finite-link
+    membership; a capacity event that flips a link between finite and
+    infinite must force a recompile, and plain brownouts (values change,
+    membership does not) must refresh the capacity vector."""
+
+    pytest.importorskip("numpy")
+
+    def _degraded_equal(self, schedule, jobs, clos, seed=0):
+        reference = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=seed),
+            failure_schedule=schedule,
+        )
+        vectorized = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=seed, backend="vectorized"),
+            failure_schedule=schedule,
+        )
+        ref_times = sorted(
+            (c.job.job_id, c.completion_time) for c in reference.completed
+        )
+        vec_times = sorted(
+            (c.job.job_id, c.completion_time) for c in vectorized.completed
+        )
+        assert len(ref_times) == len(vec_times)
+        for (rid, rt), (vid, vt) in zip(ref_times, vec_times):
+            assert rid == vid
+            assert rt == pytest.approx(vt, abs=1e-9)
+
+    def test_brownout_schedule_matches_reference(self, clos):
+        from fractions import Fraction
+
+        from repro.failures.schedule import FailureSchedule
+
+        jobs = poisson_workload(clos, rate=2.0, horizon=6.0, seed=5)
+        schedule = FailureSchedule.random_flaps(
+            clos, count=3, horizon=4.0, seed=5, severity=Fraction(1, 4)
+        )
+        self._degraded_equal(schedule, jobs, clos, seed=5)
+
+    def test_full_kill_schedule_matches_reference(self, clos):
+        from repro.failures.schedule import FailureSchedule
+
+        jobs = poisson_workload(clos, rate=2.0, horizon=6.0, seed=9)
+        schedule = FailureSchedule.random_flaps(
+            clos, count=2, horizon=4.0, seed=9, severity=0
+        )
+        self._degraded_equal(schedule, jobs, clos, seed=9)
+
+    def test_incidence_stale_detects_membership_flips(self, clos):
+        from repro.core.vectorized import compile_routing, incidence_stale
+        from repro.core.flows import FlowCollection
+        from repro.core.routing import Routing
+
+        flows = FlowCollection()
+        flows.add_pair(clos.sources[0], clos.destinations[0])
+        routing = Routing.from_middles(clos, flows, {flows[0]: 1})
+        capacities = clos.graph.capacities()
+        compiled = compile_routing(routing, capacities)
+
+        # Same membership, different values: not stale.
+        browned = {link: cap / 2 for link, cap in capacities.items()}
+        assert not incidence_stale(compiled, browned)
+
+        # A compiled-finite link going infinite: stale.
+        flipped = dict(capacities)
+        flipped[routing.links_of(flows[0])[0]] = float("inf")
+        assert incidence_stale(compiled, flipped)
+
+    def test_incidence_stale_detects_infinite_becoming_finite(self, clos):
+        from repro.core.vectorized import compile_routing, incidence_stale
+        from repro.core.flows import FlowCollection
+        from repro.core.routing import Routing
+
+        flows = FlowCollection()
+        flows.add_pair(clos.sources[0], clos.destinations[0])
+        routing = Routing.from_middles(clos, flows, {flows[0]: 1})
+        capacities = clos.graph.capacities()
+        victim = routing.links_of(flows[0])[0]
+        capacities[victim] = float("inf")
+        compiled = compile_routing(routing, capacities)
+        assert victim in compiled.infinite_links
+
+        capacities[victim] = 1
+        assert incidence_stale(compiled, capacities)
+
+    def test_policy_recompiles_on_membership_flip(self, clos):
+        # Consult once (freezing the incidence), then swap in a capacity
+        # map where a traversed link went infinite — the policy must
+        # recompile rather than water-fill over the stale membership.
+        jobs = {
+            0: _job(clos, 0, 1, 1, 3, 1, size=4.0),
+            1: _job(clos, 1, 1, 1, 3, 1, size=4.0),
+        }
+        remaining = {0: 4.0, 1: 4.0}
+        policy = MaxMinCongestionControl(clos, backend="vectorized")
+        before = policy.rates(jobs, remaining)
+        assert before[0] == pytest.approx(0.5)
+
+        # Both jobs share the s1^1 server uplink; make it unconstrained.
+        uplink = (clos.sources[0], clos.input_switches[0])
+        assert uplink in policy._capacities
+        policy._capacities = dict(policy._capacities)
+        policy._capacities[uplink] = float("inf")
+        policy._caps_version += 1
+
+        after = policy.rates(jobs, remaining)
+        reference = MaxMinCongestionControl(clos)
+        reference._pinned = dict(policy._pinned)
+        reference._capacities = policy._capacities
+        expected = reference.rates(jobs, remaining)
+        assert after[0] == pytest.approx(expected[0])
+        assert after[1] == pytest.approx(expected[1])
+
+    def test_policy_recompiles_when_infinite_link_becomes_finite(self, clos):
+        # The dangerous direction: a link that was infinite at compile
+        # time is *absent* from the incidence arrays, so if it later
+        # becomes finite its constraint would be silently ignored
+        # without a recompile — jobs would be served above capacity.
+        # Same source, different destinations, pinned to *different*
+        # middles: the server uplink is the only link the two jobs
+        # share, so its constraint alone decides the rates.
+        jobs = {
+            0: _job(clos, 0, 1, 1, 3, 1, size=4.0),
+            1: _job(clos, 1, 1, 1, 4, 1, size=4.0),
+        }
+        remaining = {0: 4.0, 1: 4.0}
+        uplink = (clos.sources[0], clos.input_switches[0])
+
+        policy = MaxMinCongestionControl(clos, backend="vectorized")
+        policy._pinned = {0: 1, 1: 2}
+        policy._capacities = dict(policy._capacities)
+        policy._capacities[uplink] = float("inf")
+        policy._caps_version += 1
+        before = policy.rates(jobs, remaining)
+        assert before[0] == pytest.approx(1.0)  # uplink unconstrained
+
+        policy._capacities = dict(policy._capacities)
+        policy._capacities[uplink] = 1
+        policy._caps_version += 1
+        after = policy.rates(jobs, remaining)
+        # Both jobs share the now-finite unit uplink: 1/2 each.  A stale
+        # incidence would keep serving above the restored capacity.
+        assert after[0] + after[1] == pytest.approx(1.0)
+        assert after[0] == pytest.approx(0.5)
