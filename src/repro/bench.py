@@ -17,6 +17,12 @@ Two modes:
   measured claim — and the counters prove the work didn't change
   (same rounds, fewer seconds).
 
+Each scenario record also carries a per-span timing breakdown
+(self/cumulative seconds per span name, from the final repeat), which
+``repro bench diff A.json B.json`` uses to *attribute* wall-clock
+deltas: instead of "vectorized_waterfill regressed 18%", the diff says
+which spans' self time account for the movement.
+
 ``benchmarks/collect.py`` is a thin wrapper over this module kept for
 the documented ``python benchmarks/collect.py`` invocation.
 """
@@ -52,6 +58,9 @@ __all__ = [
     "bench_command",
     "collect",
     "compare",
+    "diff_attribution",
+    "diff_command",
+    "format_attribution",
     "format_comparison",
 ]
 
@@ -195,10 +204,14 @@ def collect(repeat: int = 3) -> Dict[str, Any]:
     """Run every scenario ``repeat`` times; return the results document.
 
     Wall times are measured with tracing on but memory tracking off
-    (tracemalloc would distort allocation-heavy kernels); counters come
-    from the final run — they are identical across runs since every
-    scenario is deterministic.
+    (tracemalloc would distort allocation-heavy kernels); counters and
+    the per-span breakdown come from the final run — they are identical
+    across runs since every scenario is deterministic (span *times*
+    jitter, but the diff tooling compares medians and shares, not raw
+    nanoseconds).
     """
+    from repro.obs.export import aggregate_spans
+
     was_enabled = obs.enabled()
     obs.enable(memory=False)
     results: Dict[str, Any] = {}
@@ -206,6 +219,7 @@ def collect(repeat: int = 3) -> Dict[str, Any]:
         for name, scenario in SCENARIOS.items():
             walls: List[float] = []
             snapshot: Dict[str, Any] = {}
+            span_table: Dict[str, Any] = {}
             for _ in range(repeat):
                 obs.reset()
                 start = time.perf_counter()
@@ -213,12 +227,20 @@ def collect(repeat: int = 3) -> Dict[str, Any]:
                     scenario()
                 walls.append(time.perf_counter() - start)
                 snapshot = obs.metrics_snapshot()
-                obs.tracer().collect()
+                span_table = aggregate_spans(obs.tracer().collect())
             results[name] = {
                 "wall_s_best": round(min(walls), 6),
                 "wall_s_median": round(statistics.median(walls), 6),
                 "repeat": repeat,
                 "metrics": snapshot,
+                "spans": {
+                    span: {
+                        "count": entry["count"],
+                        "cum_s": round(entry["cum_s"], 6),
+                        "self_s": round(entry["self_s"], 6),
+                    }
+                    for span, entry in sorted(span_table.items())
+                },
             }
             print(
                 f"{name}: best {results[name]['wall_s_best']}s "
@@ -297,6 +319,137 @@ def format_comparison(rows: List[Dict[str, Any]], tolerance: float) -> str:
         ],
         title=f"bench — medians vs baseline (tolerance {tolerance:.0%})",
     )
+
+
+def diff_attribution(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Attribute per-scenario wall-clock deltas to the spans that moved.
+
+    For each scenario present in both documents, the median-wall delta
+    is broken down by span *self*-time deltas (self times partition a
+    trace's wall clock, so shares do not double count nested spans).
+    Returns one row per scenario:
+
+    ``{"scenario", "baseline_s", "current_s", "delta_s", "delta_pct",
+    "spans": [{"span", "baseline_self_s", "current_self_s",
+    "delta_self_s", "share"}, ...]}``
+
+    Span rows are sorted by absolute self-time delta, largest first;
+    ``share`` is the fraction of the scenario's wall delta the span
+    accounts for (``None`` when the wall delta is zero).  Scenarios
+    without span breakdowns on both sides (pre-pipeline baselines) get
+    an empty span list rather than an error.
+    """
+    base = baseline.get("scenarios", {})
+    curr = current.get("scenarios", {})
+    rows: List[Dict[str, Any]] = []
+    for name in [n for n in base if n in curr]:
+        base_median = base[name].get("wall_s_median")
+        curr_median = curr[name].get("wall_s_median")
+        if not base_median or not curr_median:
+            continue
+        delta = curr_median - base_median
+        base_spans = base[name].get("spans", {})
+        curr_spans = curr[name].get("spans", {})
+        span_rows: List[Dict[str, Any]] = []
+        for span in list(base_spans) + [
+            s for s in curr_spans if s not in base_spans
+        ]:
+            base_self = base_spans.get(span, {}).get("self_s", 0.0)
+            curr_self = curr_spans.get(span, {}).get("self_s", 0.0)
+            span_delta = curr_self - base_self
+            span_rows.append(
+                {
+                    "span": span,
+                    "baseline_self_s": base_self,
+                    "current_self_s": curr_self,
+                    "delta_self_s": round(span_delta, 6),
+                    "share": (span_delta / delta) if delta else None,
+                }
+            )
+        span_rows.sort(key=lambda row: -abs(row["delta_self_s"]))
+        rows.append(
+            {
+                "scenario": name,
+                "baseline_s": base_median,
+                "current_s": curr_median,
+                "delta_s": round(delta, 6),
+                "delta_pct": delta / base_median,
+                "spans": span_rows,
+            }
+        )
+    rows.sort(key=lambda row: -abs(row["delta_pct"]))
+    return rows
+
+
+def format_attribution(
+    rows: List[Dict[str, Any]], top: int = 3, threshold: float = 0.02
+) -> str:
+    """A printable report of :func:`diff_attribution` rows.
+
+    Scenarios whose wall delta is under ``threshold`` (fraction of the
+    baseline median) are summarized on one line; for the rest, the
+    ``top`` largest span movements are itemized with their share of the
+    delta.
+    """
+    lines: List[str] = []
+    quiet = 0
+    for row in rows:
+        pct = row["delta_pct"] * 100.0
+        if abs(row["delta_pct"]) < threshold:
+            quiet += 1
+            continue
+        direction = "slower" if row["delta_s"] > 0 else "faster"
+        lines.append(
+            f"{row['scenario']}: {row['baseline_s']:.4f}s -> "
+            f"{row['current_s']:.4f}s ({pct:+.1f}%, {direction})"
+        )
+        movers = [r for r in row["spans"][:top] if r["delta_self_s"]]
+        if not movers:
+            lines.append("  (no span breakdown on both sides)")
+        for mover in movers:
+            share = mover["share"]
+            share_text = f"{share * 100.0:.0f}% of delta" if share is not None else "-"
+            lines.append(
+                f"  {mover['span']}: {mover['baseline_self_s']:.4f}s -> "
+                f"{mover['current_self_s']:.4f}s self "
+                f"({mover['delta_self_s']:+.4f}s, {share_text})"
+            )
+    if quiet:
+        lines.append(
+            f"{quiet} scenario(s) within {threshold:.0%} of baseline"
+        )
+    if not rows:
+        lines.append("no scenarios common to both documents")
+    return "\n".join(lines)
+
+
+def diff_command(
+    baseline_path: str, current_path: str, top: int = 3
+) -> int:
+    """The ``repro bench diff`` subcommand; returns the exit code."""
+    import json
+
+    documents = []
+    for path in (baseline_path, current_path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        if document.get("format") != FORMAT_NAME:
+            print(
+                f"{path}: not a {FORMAT_NAME} document",
+                file=sys.stderr,
+            )
+            return 2
+        documents.append(document)
+
+    rows = diff_attribution(documents[0], documents[1])
+    print(format_attribution(rows, top=top))
+    return 0
 
 
 def bench_command(

@@ -26,13 +26,25 @@ without recomputing (or re-printing differently) what already ran.
 
 ``profile`` runs one experiment under :mod:`repro.obs` tracing and
 prints the span tree (wall time, share of total, peak memory) plus
-every counter the hot paths incremented; ``--trace out.jsonl`` exports
-the span trees as JSONL.  ``stats`` renders the same summary from a
-manifest written by a sweep that ran with ``REPRO_OBS=1``::
+every counter the hot paths incremented; ``--export chrome`` /
+``prom`` / ``jsonl`` writes the trace for ``chrome://tracing`` /
+Perfetto, the metrics in Prometheus text format, or the raw span-tree
+JSONL (``--trace out.jsonl`` remains the JSONL shorthand).  Profiling
+with ``--jobs N`` works: worker telemetry is shipped back and merged
+(see :mod:`repro.obs.pipeline`), with each worker on its own process
+track in the Chrome export.  ``stats`` renders the same summary from a
+manifest written by a sweep that ran with ``REPRO_OBS=1``, and ``top``
+ranks spans in an exported JSONL trace by self time::
 
-    python -m repro profile e2 --trace e2.jsonl
+    python -m repro profile e2 --export chrome --export prom
     REPRO_OBS=1 python -m repro run all --manifest sweep.json
     python -m repro stats sweep.json
+    python -m repro profile e4 --jobs 4 --trace e4.jsonl
+    python -m repro top e4.jsonl
+
+``bench`` gains regression *attribution*: ``repro bench diff A.json
+B.json`` explains per-scenario wall-clock movement span by span
+(self-time deltas and their share of the total delta).
 
 Self-checking runtime (see :mod:`repro.validate` and
 ``docs/ROBUSTNESS.md``): the global ``--validate {off,cheap,full}``
@@ -484,6 +496,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", help="write the span trees to this JSONL file"
     )
     profile.add_argument(
+        "--export",
+        action="append",
+        choices=["chrome", "prom", "jsonl"],
+        default=None,
+        help="also write the telemetry in this format (repeatable): "
+        "chrome = trace_event JSON for chrome://tracing / Perfetto, "
+        "prom = Prometheus text metrics, jsonl = raw span trees",
+    )
+    profile.add_argument(
+        "--export-prefix",
+        help="path prefix for --export files "
+        "(default: profile-<experiment>)",
+    )
+    profile.add_argument(
         "--no-memory",
         dest="memory",
         action="store_false",
@@ -494,8 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for sweep points (counters from workers "
-        "are not collected; profile with the default of 1)",
+        help="worker processes for sweep points (worker telemetry is "
+        "shipped back and merged; 0 = all cores)",
     )
 
     stats = sub.add_parser(
@@ -503,6 +529,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="summarize timings/counters from a traced run manifest",
     )
     stats.add_argument("manifest", help="manifest JSON written by 'run'")
+
+    top = sub.add_parser(
+        "top",
+        help="rank spans in a JSONL trace by self time",
+    )
+    top.add_argument("trace", help="JSONL trace written by 'profile'")
+    top.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
+    top.add_argument(
+        "--sort",
+        choices=["self", "cum", "count"],
+        default="self",
+        help="sort column (default self time)",
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="e1..e16 or 'all'")
@@ -584,6 +625,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="allowed median slowdown vs the baseline (0.25 = 25%%)",
     )
+    bench_sub = bench.add_subparsers(dest="bench_action")
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="attribute wall-clock deltas between two bench documents "
+        "to the spans that moved",
+    )
+    bench_diff.add_argument("baseline", help="older BENCH_*.json")
+    bench_diff.add_argument("current", help="newer BENCH_*.json")
+    bench_diff.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="span movements itemized per scenario (default 3)",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -664,7 +719,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "stats":
         return _stats_command(args)
 
+    if args.command == "top":
+        return _top_command(args)
+
     if args.command == "bench":
+        if getattr(args, "bench_action", None) == "diff":
+            from repro.bench import diff_command
+
+            return diff_command(args.baseline, args.current, top=args.top)
+
         from repro.bench import bench_command
 
         return bench_command(
@@ -865,6 +928,65 @@ def _profile_command(args: argparse.Namespace) -> int:
     if args.trace:
         path = obs.write_trace_jsonl(args.trace, roots)
         print(f"\nwrote {path}")
+
+    prefix = args.export_prefix or f"profile-{name}"
+    for fmt in dict.fromkeys(args.export or []):
+        if fmt == "chrome":
+            path = obs.write_chrome_trace(
+                f"{prefix}.trace.json", roots, process_name=f"repro {name}"
+            )
+        elif fmt == "prom":
+            path = f"{prefix}.prom"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    obs.prometheus_text(snapshot, obs.metrics().kinds())
+                )
+        else:  # jsonl
+            path = obs.write_trace_jsonl(f"{prefix}.jsonl", roots)
+        print(f"wrote {path}")
+    return 0
+
+
+def _top_command(args: argparse.Namespace) -> int:
+    """The ``top`` subcommand: self/cumulative time per span name."""
+    from repro import obs
+    from repro.io.serialize import ScenarioError, read_jsonl
+
+    try:
+        documents = read_jsonl(args.trace)
+    except (OSError, ScenarioError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+
+    roots = [obs.span_from_dict(document) for document in documents]
+    table = obs.aggregate_spans(roots)
+    if not table:
+        print("trace contains no spans")
+        return 0
+
+    key = {"self": "self_s", "cum": "cum_s", "count": "count"}[args.sort]
+    total_self = sum(entry["self_s"] for entry in table.values())
+    ranked = sorted(table.items(), key=lambda item: -item[1][key])
+    rows = []
+    for span_name, entry in ranked[: args.limit]:
+        share = (entry["self_s"] / total_self) if total_self > 0 else 0.0
+        rows.append(
+            [
+                span_name,
+                entry["count"],
+                f"{entry['self_s'] * 1000:.3f}ms",
+                f"{share * 100:.1f}%",
+                f"{entry['cum_s'] * 1000:.3f}ms",
+            ]
+        )
+    print(
+        format_table(
+            ["span", "count", "self", "self %", "cumulative"],
+            rows,
+            title=f"top — {args.trace} ({len(roots)} root span(s), "
+            f"sorted by {args.sort})",
+        )
+    )
     return 0
 
 
@@ -880,13 +1002,17 @@ def _stats_command(args: argparse.Namespace) -> int:
         return 2
 
     rows = []
+    metrics_rows = []
     aggregated: Dict[str, int] = {}
     traced_steps = 0
+    metric_steps = 0
     for record in manifest.steps.values():
         span_wall = record.span_wall_seconds()
         peak = record.peak_memory_bytes()
         if record.trace is not None:
             traced_steps += 1
+        if record.metrics:
+            metric_steps += 1
         rows.append(
             [
                 record.name,
@@ -896,9 +1022,33 @@ def _stats_command(args: argparse.Namespace) -> int:
                 "-" if peak is None else format_bytes(peak),
             ]
         )
+        metrics_rows.append([record.name, record.status.upper(),
+                             f"{record.duration:.2f}s"])
         for metric, value in (record.metrics or {}).items():
             if isinstance(value, int):
                 aggregated[metric] = aggregated.get(metric, 0) + value
+
+    if traced_steps == 0:
+        # Manifests from REPRO_OBS=0 sweeps (or pre-observability runs)
+        # carry no spans; degrade to the columns that exist instead of
+        # printing a table of dashes.
+        print(
+            format_table(
+                ["step", "status", "duration"],
+                metrics_rows,
+                title=f"stats — {args.manifest}",
+            )
+        )
+        print()
+        print(
+            "no span traces embedded in this manifest "
+            "(re-run the sweep with REPRO_OBS=1 to record them)"
+        )
+        if aggregated:
+            print()
+            _print_metric_table(aggregated, "aggregated counters")
+        return 0
+
     print(
         format_table(
             ["step", "status", "duration", "wall (span)", "peak mem"],
@@ -907,11 +1057,8 @@ def _stats_command(args: argparse.Namespace) -> int:
         )
     )
     print()
-    if traced_steps == 0:
-        print(
-            "no traces embedded in this manifest "
-            "(re-run the sweep with REPRO_OBS=1 to record them)"
-        )
+    if metric_steps == 0:
+        print("no metric deltas embedded in this manifest")
     else:
         _print_metric_table(aggregated, "aggregated counters")
     return 0

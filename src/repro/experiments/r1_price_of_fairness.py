@@ -62,7 +62,8 @@ def sweep(
     """The adversarial sweep of Theorem 3.4's tight construction.
 
     ``jobs > 1`` computes sweep points in worker processes (identical
-    results in identical order; see :mod:`repro.parallel`).
+    results in identical order, and under ``REPRO_OBS=1`` worker
+    telemetry is merged back; see :mod:`repro.parallel`).
     """
     return parallel_map(_sweep_point, ks, jobs=jobs)
 

@@ -162,7 +162,10 @@ def starvation_sweep(
 
     Pass ``backend="quotient"`` (typically with
     ``check_local_optimality=False``) to run the exact sweep at n ≥ 64
-    via symmetry reduction.
+    via symmetry reduction.  ``jobs > 1`` computes sizes in worker
+    processes; with ``REPRO_OBS=1`` the workers' solver counters and
+    spans are shipped back and merged, so traced parallel sweeps report
+    the same totals as sequential ones (see :mod:`repro.obs.pipeline`).
     """
     point = functools.partial(
         _starvation_point,

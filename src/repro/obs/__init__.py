@@ -29,7 +29,7 @@ CLI front end.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.obs.logger import StructuredLogger, get_logger
 from repro.obs.metrics import (
@@ -42,6 +42,18 @@ from repro.obs.metrics import (
     gauge,
     histogram,
     snapshot_delta,
+)
+from repro.obs.export import (
+    aggregate_spans,
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+)
+from repro.obs.pipeline import (
+    MergedTelemetry,
+    TelemetryPayload,
+    capture_payload,
+    merge_payloads,
 )
 from repro.obs.state import STATE
 from repro.obs.trace import (
@@ -58,10 +70,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MergedTelemetry",
     "MetricsRegistry",
     "Span",
     "StructuredLogger",
+    "TelemetryPayload",
     "Tracer",
+    "aggregate_spans",
+    "capture_payload",
+    "chrome_trace",
     "counter",
     "disable",
     "enable",
@@ -69,13 +86,16 @@ __all__ = [
     "gauge",
     "get_logger",
     "histogram",
+    "merge_payloads",
     "metrics",
     "metrics_snapshot",
+    "prometheus_text",
     "snapshot_delta",
     "span_from_dict",
     "trace_span",
     "traced",
     "tracer",
+    "write_chrome_trace",
     "write_trace_jsonl",
 ]
 
@@ -85,10 +105,23 @@ def enabled() -> bool:
     return STATE.enabled
 
 
-def enable(memory: bool = False) -> None:
-    """Turn tracing/metrics/logging on (``memory`` adds tracemalloc)."""
+def enable(
+    memory: bool = False,
+    sample: Optional[float] = None,
+    ring: Optional[int] = None,
+) -> None:
+    """Turn tracing/metrics/logging on (``memory`` adds tracemalloc).
+
+    ``sample`` sets the root-span sampling rate in [0, 1] and ``ring``
+    bounds the finished-root-span sink (0 = unbounded); ``None`` leaves
+    the current (environment-derived) value in place.
+    """
     STATE.enabled = True
     STATE.memory = memory
+    if sample is not None:
+        STATE.sample = min(1.0, max(0.0, sample))
+    if ring is not None:
+        STATE.ring = max(0, ring)
 
 
 def disable() -> None:

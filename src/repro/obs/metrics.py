@@ -16,6 +16,7 @@ scenario file convention in :mod:`repro.io.serialize`).
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from typing import Any, Dict, List, Optional, Union
 
@@ -30,6 +31,18 @@ def _json_value(value: Number) -> Any:
         if value.denominator == 1:
             return int(value)
         return f"{value.numerator}/{value.denominator}"
+    return value
+
+
+def _parse_value(value: Any) -> Number:
+    """Invert :func:`_json_value`: ``"p/q"`` strings become Fractions.
+
+    The telemetry pipeline round-trips metric values through JSON when
+    shipping them across process boundaries; exact rationals must come
+    back exact.
+    """
+    if isinstance(value, str):
+        return Fraction(value)
     return value
 
 
@@ -75,14 +88,28 @@ class Gauge:
         return None if self.value is None else _json_value(self.value)
 
 
+#: Distinct-value cap per histogram.  The instruments observe exact
+#: rationals and small integers (water levels, active-job counts), so
+#: the bucket map stays tiny; runaway float streams stop allocating at
+#: the cap and are tallied in ``bucket_overflow`` instead.
+MAX_BUCKETS = 4096
+
+
 class Histogram:
-    """Streaming summary of observed values: count / sum / min / max.
+    """Streaming summary of observed values, bucketed by exact value.
 
     Fraction-safe: observing Fractions keeps the sum exact, so the mean
-    of exact observations is an exact rational.
+    of exact observations is an exact rational — and because every
+    distinct value keeps its own bucket (up to :data:`MAX_BUCKETS`),
+    percentiles are exact too, and two histograms merge losslessly by
+    summing buckets (the cross-process telemetry pipeline relies on
+    this; see :mod:`repro.obs.pipeline`).
     """
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = (
+        "name", "count", "total", "minimum", "maximum", "buckets",
+        "overflow",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -90,41 +117,90 @@ class Histogram:
         self.total: Number = 0
         self.minimum: Optional[Number] = None
         self.maximum: Optional[Number] = None
+        #: observed value -> occurrence count (exact keys, never floats
+        #: of Fractions).
+        self.buckets: Dict[Number, int] = {}
+        #: Observations whose *distinct* value arrived after the bucket
+        #: cap; counted in ``count``/``sum`` but absent from percentiles.
+        self.overflow = 0
 
     def observe(self, value: Number) -> None:
         if not STATE.enabled:
             return
-        self.count += 1
-        self.total = self.total + value
+        self._absorb(value, 1)
+
+    def _absorb(self, value: Number, occurrences: int) -> None:
+        self.count += occurrences
+        self.total = self.total + value * occurrences
         if self.minimum is None or value < self.minimum:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        buckets = self.buckets
+        if value in buckets:
+            buckets[value] += occurrences
+        elif len(buckets) < MAX_BUCKETS:
+            buckets[value] = occurrences
+        else:
+            self.overflow += occurrences
 
     def mean(self) -> Optional[Number]:
+        """The exact mean: a Fraction unless a float was ever observed.
+
+        Integer observations divide exactly (``Fraction(3, 2)``), never
+        through float division, so JSON snapshots of exact runs carry
+        no floats.
+        """
         if self.count == 0:
             return None
         total = self.total
-        if isinstance(total, Fraction):
+        if isinstance(total, float):
             return total / self.count
-        return total / self.count
+        return Fraction(total) / self.count
+
+    def percentile(self, q: Fraction) -> Optional[Number]:
+        """Exact nearest-rank percentile over the bucketed values.
+
+        ``q`` is a fraction in (0, 1]; the result is the smallest
+        observed value whose cumulative count reaches ``ceil(q * N)``.
+        Returns ``None`` when empty.  With bucket overflow the rank is
+        taken over the bucketed subset (flagged in the snapshot).
+        """
+        bucketed = self.count - self.overflow
+        if bucketed <= 0:
+            return None
+        rank = math.ceil(q * bucketed)
+        cumulative = 0
+        for value in sorted(self.buckets):
+            cumulative += self.buckets[value]
+            if cumulative >= rank:
+                return value
+        return self.maximum  # pragma: no cover - rank <= bucketed total
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0
         self.minimum = None
         self.maximum = None
+        self.buckets = {}
+        self.overflow = 0
 
     def snapshot(self) -> Any:
         if self.count == 0:
             return {"count": 0}
-        return {
+        out = {
             "count": self.count,
             "sum": _json_value(self.total),
             "min": _json_value(self.minimum),
             "max": _json_value(self.maximum),
             "mean": _json_value(self.mean()),
+            "p50": _json_value(self.percentile(Fraction(1, 2))),
+            "p90": _json_value(self.percentile(Fraction(9, 10))),
+            "p99": _json_value(self.percentile(Fraction(99, 100))),
         }
+        if self.overflow:
+            out["bucket_overflow"] = self.overflow
+        return out
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -165,9 +241,95 @@ class MetricsRegistry:
     def names(self) -> List[str]:
         return sorted(self._instruments)
 
+    def kinds(self) -> Dict[str, str]:
+        """name → ``"counter"`` / ``"gauge"`` / ``"histogram"`` map."""
+        return {
+            name: type(instrument).__name__.lower()
+            for name, instrument in self._instruments.items()
+        }
+
     def reset(self) -> None:
         for instrument in self._instruments.values():
             instrument.reset()
+
+    # ------------------------------------------------------------------
+    # Cross-process state shipping (see repro.obs.pipeline)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Lossless, JSON-safe, *typed* dump of every active instrument.
+
+        Unlike :meth:`snapshot` (a display rendering), this keeps enough
+        structure to merge exactly in another process: instruments are
+        grouped by kind, and histograms ship their full value→count
+        bucket map alongside the summary fields.
+        """
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                if instrument.value != 0:
+                    counters[name] = _json_value(instrument.value)
+            elif isinstance(instrument, Gauge):
+                if instrument.value is not None:
+                    gauges[name] = _json_value(instrument.value)
+            elif instrument.count > 0:
+                histograms[name] = {
+                    "count": instrument.count,
+                    "sum": _json_value(instrument.total),
+                    "min": _json_value(instrument.minimum),
+                    "max": _json_value(instrument.maximum),
+                    "buckets": [
+                        [_json_value(value), instrument.buckets[value]]
+                        for value in sorted(instrument.buckets)
+                    ],
+                    "overflow": instrument.overflow,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def absorb_state(self, state: Dict[str, Any]) -> None:
+        """Merge an :meth:`export_state` document into this registry.
+
+        Counters sum exactly, gauges take the incoming value (callers
+        order payloads so the semantics are last-write-wins), histogram
+        buckets add.  Values round-trip through
+        :func:`_parse_value`, so exact rationals stay exact.
+        """
+        for name, value in state.get("counters", {}).items():
+            counter = self.counter(name)
+            counter.value = counter.value + _parse_value(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).value = _parse_value(value)
+        for name, entry in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            bucket_sum: Number = 0
+            for value, occurrences in entry.get("buckets", []):
+                parsed = _parse_value(value)
+                histogram._absorb(parsed, int(occurrences))
+                bucket_sum = bucket_sum + parsed * int(occurrences)
+            overflow = int(entry.get("overflow", 0))
+            if overflow:
+                # Overflowed observations lost their individual values;
+                # fold their count/sum (and the shipped min/max, which
+                # may live in the overflow) in without inventing buckets.
+                histogram.count += overflow
+                histogram.overflow += overflow
+                histogram.total = (
+                    histogram.total + _parse_value(entry["sum"]) - bucket_sum
+                )
+                for key, pick in (("min", min), ("max", max)):
+                    shipped = _parse_value(entry[key])
+                    current = getattr(histogram, f"{key}imum")
+                    setattr(
+                        histogram,
+                        f"{key}imum",
+                        shipped if current is None else pick(current, shipped),
+                    )
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe name → value map, zero-valued instruments omitted."""

@@ -22,14 +22,20 @@ Design rules the experiment refactors follow:
   (:func:`derive_seed` derives stable per-task seeds from a base seed),
   never in shared mutable state.
 
-Caveat: :mod:`repro.obs` counters and trace spans incremented inside
-worker processes stay in those processes — a traced (``REPRO_OBS=1``)
-run with ``jobs > 1`` reports only the parent's instrumentation.  Use
-``jobs=1`` when profiling.
+When observability is on (``REPRO_OBS=1``), worker instrumentation is
+*not* lost: each worker runs its task under a fresh obs session and
+ships a :class:`repro.obs.pipeline.TelemetryPayload` (metrics state,
+span forest, peak memory) back with its result, and the parent merges
+and absorbs all payloads — so counter totals from a ``--jobs N`` run
+match the sequential run exactly, and worker spans appear under
+synthetic ``worker:<i>`` roots in traces.  With observability off the
+shipping layer is skipped entirely and workers return bare results,
+byte-identical to before.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -63,13 +69,38 @@ def parallel_map(
     the tasks are distributed over ``min(jobs, len(tasks))`` worker
     processes.  Results are returned in task order either way; a worker
     exception propagates to the caller.
+
+    When observability is enabled, multi-process runs wrap each task in
+    :func:`repro.obs.pipeline.run_with_telemetry`: workers ship their
+    instrumentation home with each result, and the merged telemetry is
+    absorbed into this process's registry and tracer before returning.
     """
     task_list = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(task_list) <= 1:
         return [fn(task) for task in task_list]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
-        return list(pool.map(fn, task_list))
+
+    from repro.obs.state import STATE
+
+    workers = min(jobs, len(task_list))
+    if not STATE.enabled:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, task_list))
+
+    from repro.obs import pipeline
+
+    call = functools.partial(
+        pipeline.run_with_telemetry, fn, pipeline.worker_config()
+    )
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        shipped = list(pool.map(call, task_list))
+    results = [result for result, _ in shipped]
+    payloads = [
+        pipeline.TelemetryPayload.from_dict(document)
+        for _, document in shipped
+    ]
+    pipeline.merge_payloads(payloads).absorb()
+    return results
 
 
 def derive_seed(base: int, *components) -> int:

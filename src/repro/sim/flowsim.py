@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
-from repro.obs import counter, trace_span
+from repro.obs import counter, histogram, trace_span
 from repro.sim.events import EventQueue, load_failure_schedule
 from repro.sim.jobs import FlowJob
 
@@ -35,6 +35,10 @@ _COMPLETIONS = counter("sim.completions")
 _FAILURES = counter("sim.failures_applied")
 _POLICY_CALLS = counter("sim.policy_consultations")
 _RESOLVE_SKIPS = counter("sim.resolve_skipped")
+#: Active-job count observed at every event: the p50/p90/p99 summary
+#: shows whether a workload's cost comes from sustained load or bursts
+#: (integer observations — exact percentiles, tiny bucket map).
+_ACTIVE = histogram("sim.active_jobs")
 
 
 class CompletedJob(NamedTuple):
@@ -206,6 +210,7 @@ def _simulate(
             break  # only failure events remain; nothing left to serve
         events += 1
         _EVENTS.inc()
+        _ACTIVE.observe(len(active))
         if events > max_events:
             raise SimulationError(f"exceeded {max_events} events")
         if max_time is not None and now >= max_time:

@@ -159,6 +159,73 @@ class TestMetrics:
         assert snapshot_delta(before, after) == {"a": 3, "b": 7, "g": "1/2"}
 
 
+class TestHistogramPercentiles:
+    def test_exact_nearest_rank_percentiles(self, observing):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(1, 101):  # 1..100, once each
+            hist.observe(value)
+        snap = registry.snapshot()["h"]
+        assert snap["p50"] == 50
+        assert snap["p90"] == 90
+        assert snap["p99"] == 99
+
+    def test_percentiles_respect_multiplicity(self, observing):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for _ in range(9):
+            hist.observe(Fraction(1, 3))
+        hist.observe(Fraction(2, 3))
+        snap = registry.snapshot()["h"]
+        assert snap["p50"] == "1/3"
+        assert snap["p90"] == "1/3"  # rank 9 of 10 is still 1/3
+        assert snap["p99"] == "2/3"
+
+    def test_integer_observations_stay_exact_in_json(self, observing):
+        """mean() of ints divides via Fraction, never float — so the
+        JSON snapshot of an exact run contains no floats anywhere."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (1, 2):
+            hist.observe(value)
+        snap = registry.snapshot()["h"]
+        assert snap["mean"] == "3/2"
+
+        def no_floats(value):
+            if isinstance(value, float):
+                return False
+            if isinstance(value, dict):
+                return all(no_floats(v) for v in value.values())
+            return True
+
+        assert no_floats(snap)
+
+    def test_float_observations_fall_back_to_float_mean(self, observing):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(1)
+        hist.observe(0.5)
+        assert registry.snapshot()["h"]["mean"] == pytest.approx(0.75)
+
+    def test_empty_histogram_has_no_percentiles(self, observing):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.percentile(Fraction(1, 2)) is None
+        assert hist.mean() is None
+
+    def test_bucket_cap_overflows_gracefully(self, observing):
+        from repro.obs.metrics import MAX_BUCKETS
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(MAX_BUCKETS + 10):
+            hist.observe(value)
+        snap = registry.snapshot()["h"]
+        assert snap["count"] == MAX_BUCKETS + 10
+        assert snap["bucket_overflow"] == 10
+        assert snap["max"] == MAX_BUCKETS + 9  # tracked past the cap
+
+
 class TestWaterFillingCounters:
     """Counters match hand-computed round counts on Example 2.3.
 
