@@ -179,6 +179,48 @@ def scenario_quotient_exact() -> None:
     quotient_max_min(routing, caps)
 
 
+def _churn_sequence():
+    """A shared n=64 Poisson churn event stream (pinned paths), built
+    once — both churn scenarios absorb the *same* sequence, so their
+    events/sec (``bench.churn.events`` / wall) compare like for like."""
+    if "churn" not in _SOLVER_CACHE:
+        import gc
+
+        from repro.experiments.churn import churn_event_sequence
+
+        clos = ClosNetwork(64)
+        _SOLVER_CACHE["churn"] = (
+            clos.graph.capacities(),
+            churn_event_sequence(clos, rate=100000.0, horizon=0.5, seed=0),
+        )
+        # ~100k cached event tuples would otherwise sit in the young GC
+        # generations and tax every later scenario's collections (a
+        # measured ~20% drag on vectorized_waterfill); they live for
+        # the whole bench run, so freeze them out of the GC entirely.
+        gc.collect()
+        gc.freeze()
+    return _SOLVER_CACHE["churn"]
+
+
+def scenario_flowsim_churn_event() -> None:
+    """The classic loop: a from-scratch solve after every flow event
+    (a 192-event prefix — the whole sequence would take minutes, which
+    is the point)."""
+    from repro.experiments.churn import absorb_churn
+
+    caps, events = _churn_sequence()
+    absorb_churn(caps, events, per_event=True, limit=192)
+
+
+def scenario_flowsim_churn_batched() -> None:
+    """The streaming allocation service: the same sequence absorbed in
+    4096-event batches by one incremental solver."""
+    from repro.experiments.churn import absorb_churn
+
+    caps, events = _churn_sequence()
+    absorb_churn(caps, events, batch=4096)
+
+
 SCENARIOS: Dict[str, Callable[[], None]] = {
     "example_2_3": scenario_example_2_3,
     "water_filling_exact": scenario_water_filling_exact,
@@ -198,6 +240,8 @@ except ImportError:  # pragma: no cover
     pass
 else:
     SCENARIOS["vectorized_waterfill"] = scenario_vectorized_waterfill
+    SCENARIOS["flowsim_churn_event"] = scenario_flowsim_churn_event
+    SCENARIOS["flowsim_churn_batched"] = scenario_flowsim_churn_batched
 
 
 def collect(repeat: int = 3) -> Dict[str, Any]:
@@ -449,6 +493,23 @@ def diff_command(
 
     rows = diff_attribution(documents[0], documents[1])
     print(format_attribution(rows, top=top))
+    # The attribution only covers scenarios present on both sides; call
+    # out the asymmetric ones so a renamed or silently-dropped scenario
+    # can't masquerade as "no movement".
+    base_names = set(documents[0].get("scenarios", {}))
+    curr_names = set(documents[1].get("scenarios", {}))
+    for name in sorted(base_names - curr_names):
+        print(
+            f"warning: scenario in baseline but not current "
+            f"(dropped?): {name}",
+            file=sys.stderr,
+        )
+    for name in sorted(curr_names - base_names):
+        print(
+            f"warning: scenario in current but not baseline "
+            f"(added?): {name}",
+            file=sys.stderr,
+        )
     return 0
 
 

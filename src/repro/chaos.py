@@ -55,6 +55,7 @@ __all__ = [
     "cross_check",
     "fuzz",
     "random_instance",
+    "stream_churn_check",
 ]
 
 #: Capacity mutation classes ``random_instance`` draws from.
@@ -382,6 +383,117 @@ def cross_check(
     return failures
 
 
+def stream_churn_check(
+    seed: int, directory: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Drive a seeded arrival/departure sequence *statefully* through
+    :class:`~repro.core.streaming.StreamingMaxMin`.
+
+    Unlike :func:`churn_snapshots` (which re-solves sampled states from
+    scratch), this exercises the incremental path itself: every solve
+    runs with ``shadow=1.0`` (cross-checked against the exact reference)
+    under full validation, with randomized batch sizes, capacity
+    degradations, and the occasional finite↔infinite capacity flip (the
+    PR 6 ``incidence_stale`` regression class).  Disagreements are
+    quarantined by the solver (reason ``stream-mismatch``, including the
+    event prefix); this function converts them — and certificate
+    failures — into fuzz failure records.
+    """
+    from repro.errors import UnboundedRateError
+    from repro.core.flows import Flow
+    from repro.core.streaming import StreamingMaxMin
+
+    rng = random.Random((seed << 4) ^ 0xC4A1)
+    n = rng.randint(2, 4)
+    network = ClosNetwork(n)
+    exact = rng.random() < 0.3
+    base_caps = network.graph.capacities()
+    solver = StreamingMaxMin(
+        base_caps, exact=exact, shadow=1.0, quarantine_dir=directory,
+        checkpoint_every=rng.choice((1, 2, 4, 16)),
+    )
+    name = f"stream-churn-n{n}-{'exact' if exact else 'float'}"
+    failures: List[Dict[str, Any]] = []
+
+    def _defect(kind: str, detail: Sequence[str], bundle=None):
+        _FAILURES.inc()
+        failures.append(
+            {
+                "seed": seed,
+                "instance": name,
+                "backend": "streaming",
+                "kind": kind,
+                "detail": list(detail)[:5],
+                "bundle": bundle,
+            }
+        )
+
+    active: List[Flow] = []
+    factors: Dict[Link, Rate] = {}
+    tag = 0
+    mismatches = 0
+    with validation("full"):
+        for _ in range(rng.randint(8, 16)):
+            # One batch: a few staged events, then one solve.
+            for _ in range(rng.randint(1, 3)):
+                if active and (rng.random() < 0.45 or len(active) > 24):
+                    solver.remove(active.pop(rng.randrange(len(active))))
+                else:
+                    tag += 1
+                    source = rng.choice(network.sources)
+                    dest = rng.choice(network.destinations)
+                    flow = Flow(source, dest, tag=tag)
+                    try:
+                        solver.add(
+                            flow,
+                            network.path_via(
+                                source, dest, rng.randint(1, n)
+                            ),
+                        )
+                    except UnboundedRateError:
+                        continue  # every link on the path flipped to inf
+                    active.append(flow)
+            if rng.random() < 0.25:
+                # Degrade or flip a random link's capacity.
+                link = rng.choice(list(base_caps))
+                roll = rng.random()
+                if roll < 0.3:
+                    factors[link] = float("inf")  # finite -> infinite flip
+                elif roll < 0.6:
+                    factors.pop(link, None)  # restore
+                else:
+                    factors[link] = rng.choice(
+                        (0.0, 0.5, Fraction(1, 3))
+                    )
+                caps = dict(base_caps)
+                for flink, value in factors.items():
+                    caps[flink] = (
+                        float("inf")
+                        if value == float("inf")
+                        else base_caps[flink] * value
+                    )
+                solver.set_capacities(caps)
+            try:
+                solver.solve()
+            except CertificateError as error:
+                _defect("certificate", error.failures)
+                return failures
+            except UnboundedRateError:
+                # Capacity flips can leave a live flow with no finite
+                # link — the typed rejection is the correct behavior;
+                # restore and continue churning.
+                factors.clear()
+                solver.set_capacities(dict(base_caps))
+            if solver.stats["mismatches"] > mismatches:
+                mismatches = solver.stats["mismatches"]
+                _defect(
+                    "stream-mismatch",
+                    ["incremental solve disagreed with the reference"],
+                    bundle=solver.last_bundle,
+                )
+    return failures
+
+
 def fuzz(
     seeds: int,
     backends: Optional[Sequence[str]] = None,
@@ -391,8 +503,10 @@ def fuzz(
     """Run the harness over ``seeds`` deterministic instances.
 
     Every ``churn_every``-th seed additionally replays a churn stream
-    through the flow-level simulator and cross-checks each sampled
-    state (``churn_every=0`` disables churn).  All defects are
+    through the flow-level simulator, cross-checks each sampled state
+    (``churn_every=0`` disables churn), and drives a stateful
+    arrival/departure sequence through the streaming incremental solver
+    under full validation (:func:`stream_churn_check`).  All defects are
     quarantined into ``directory`` (default: the ambient quarantine
     directory).
     """
@@ -411,6 +525,18 @@ def fuzz(
             failures.extend(
                 cross_check(instance, backends=backends, directory=directory)
             )
+        if churn_every and seed % churn_every == 0:
+            streaming_wanted = backends is None or "streaming" in backends
+            if streaming_wanted:
+                try:
+                    stream_failures = stream_churn_check(
+                        seed, directory=directory
+                    )
+                except BackendUnavailableError:
+                    stream_failures = []
+                instances += 1
+                checks += 1
+                failures.extend(stream_failures)
     return FuzzReport(
         seeds=seeds, instances=instances, checks=checks, failures=failures
     )

@@ -412,6 +412,36 @@ def run_e10(args: argparse.Namespace) -> None:
     )
 
 
+def run_churn(args: argparse.Namespace) -> None:
+    from repro.experiments.churn import churn_comparison
+
+    rows = churn_comparison(
+        n=args.n or 4,
+        rate=getattr(args, "rate", None) or 100.0,
+        horizon=getattr(args, "horizon", None) or 1.5,
+        batch_window=getattr(args, "window", None) or 0.05,
+        pods=getattr(args, "pods", None) or 1,
+    )
+    print(
+        format_table(
+            ["config", "jobs", "events", "wall s", "events/s", "patched", "full"],
+            [
+                [
+                    row.config,
+                    row.jobs,
+                    row.flow_events,
+                    f"{row.wall_s:.3f}",
+                    f"{row.events_per_sec:,.0f}",
+                    "-" if row.patched is None else row.patched,
+                    "-" if row.fullsolve is None else row.fullsolve,
+                ]
+                for row in rows
+            ],
+            title="churn — streaming allocation under flow churn",
+        )
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "e1": run_e1,
     "e2": run_e2,
@@ -429,6 +459,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "e14": run_e14,
     "e15": run_e15,
     "e16": run_e16,
+    "churn": run_churn,
 }
 
 DESCRIPTIONS: Dict[str, str] = {
@@ -448,6 +479,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "e14": "extension — middle-switch failure degradation",
     "e15": "extension — oversubscription (breaking full bisection)",
     "e16": "§1 premise — splittability restores the macro-switch",
+    "churn": "extension — streaming max-min allocation under flow churn",
 }
 
 
@@ -488,9 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--n", type=int, help="network size (e6)")
     profile.add_argument(
         "--backend",
-        choices=["reference", "heap", "vectorized", "quotient"],
+        choices=["reference", "heap", "vectorized", "quotient", "streaming"],
         help="max-min solver backend for e4/e5/e6 "
-        "(quotient = exact symmetry reduction, scales to n >= 64)",
+        "(quotient = exact symmetry reduction, scales to n >= 64; "
+        "streaming = incremental under churn)",
     )
     profile.add_argument(
         "--trace", help="write the span trees to this JSONL file"
@@ -546,15 +579,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment", help="e1..e16 or 'all'")
+    run.add_argument("experiment", help="e1..e16, 'churn', or 'all'")
     run.add_argument("--ks", help="comma-separated k values (e2)")
     run.add_argument("--sizes", help="comma-separated network sizes (e3/e4)")
-    run.add_argument("--n", type=int, help="network size (e6)")
+    run.add_argument("--n", type=int, help="network size (e6/churn)")
+    run.add_argument(
+        "--rate", type=float, help="mean arrivals per time unit (churn)"
+    )
+    run.add_argument(
+        "--horizon", type=float, help="arrival horizon in time units (churn)"
+    )
+    run.add_argument(
+        "--window",
+        type=float,
+        help="micro-batch window in simulated time units (churn; "
+        "0 = re-solve per event)",
+    )
+    run.add_argument(
+        "--pods",
+        type=int,
+        help="shard the churn workload into this many independent pods",
+    )
     run.add_argument(
         "--backend",
-        choices=["reference", "heap", "vectorized", "quotient"],
+        choices=["reference", "heap", "vectorized", "quotient", "streaming"],
         help="max-min solver backend for e4/e5/e6 "
-        "(quotient = exact symmetry reduction, scales to n >= 64)",
+        "(quotient = exact symmetry reduction, scales to n >= 64; "
+        "streaming = incremental under churn)",
     )
     run.add_argument(
         "--jobs",

@@ -13,6 +13,13 @@
 - ``"quotient"`` — :func:`repro.core.quotient.quotient_max_min`; exact
   ``Fraction`` rates via symmetry reduction, the only exact option that
   scales to the n ≥ 64 adversarial constructions.
+- ``"streaming"`` — :func:`repro.core.streaming.streaming_max_min`;
+  float by default, ``exact=True`` for ``Fraction`` rates.  One-shot
+  solves match the vectorized backend bit-for-bit (float) or the
+  reference exactly; the backend exists for
+  :class:`repro.core.streaming.StreamingMaxMin` reuse under flow churn,
+  where arrivals/departures re-solve only the affected suffix of
+  bottleneck rounds.
 - ``"auto"`` — a graceful-degradation chain over the above: the fastest
   suitable backend is tried first and the solve *falls back* (counted by
   the ``solver.fallback.*`` metrics) when a backend is unavailable,
@@ -49,7 +56,7 @@ from repro.core.routing import Link, Routing
 from repro.obs import counter, get_logger
 
 #: Recognized concrete backend names, in documentation order.
-BACKENDS = ("reference", "heap", "vectorized", "quotient")
+BACKENDS = ("reference", "heap", "vectorized", "quotient", "streaming")
 
 #: Backends whose rates are exact ``Fraction`` values.
 EXACT_BACKENDS = ("reference", "quotient")
@@ -112,6 +119,10 @@ def _solve_backend(
         from repro.core.quotient import quotient_max_min
 
         return quotient_max_min(routing, capacities)
+    if backend == "streaming":
+        from repro.core.streaming import streaming_max_min
+
+        return streaming_max_min(routing, capacities, exact=bool(exact))
     raise ValueError(
         f"unknown backend {backend!r}; expected 'auto' or one of {BACKENDS}"
     )

@@ -221,6 +221,98 @@ def capacity_vector(
     )
 
 
+def _row_hits(flow_ptr, flow_link, frozen_ids, n_links):
+    """Per-link occurrence counts over ``frozen_ids``' CSR rows.
+
+    A vectorized multi-slice gather of the rows followed by one
+    ``bincount`` — the round kernel's "remove these flows from every
+    link they cross" step, shared with the streaming solver's
+    checkpoint replay (:mod:`repro.core.streaming`).
+    """
+    np = _np
+    lens = flow_ptr[frozen_ids + 1] - flow_ptr[frozen_ids]
+    total = int(lens.sum())
+    offsets = np.repeat(np.cumsum(lens) - lens, lens)
+    idx = (
+        np.repeat(flow_ptr[frozen_ids], lens)
+        + np.arange(total, dtype=np.int64)
+        - offsets
+    )
+    return np.bincount(flow_link[idx], minlength=n_links)
+
+
+def _run_rounds(
+    flow_ptr,
+    flow_link,
+    gather_members,
+    n_links,
+    residual,
+    count,
+    active,
+    rates,
+    remaining,
+    start_round: int = 0,
+    on_round_start=None,
+    on_round_end=None,
+):
+    """The water-filling round loop over raw incidence arrays.
+
+    Mutates ``residual`` / ``count`` / ``active`` / ``rates`` in place
+    and returns the number of rounds executed.  ``gather_members(sat_idx)``
+    must return the (possibly stale/frozen — they are mask-filtered)
+    member flow ids of the saturating links; the indirection lets the
+    streaming solver run the identical float operation sequence over its
+    mutable slot arrays, which is what makes incremental suffix
+    resumption bit-exact against a from-scratch solve.  ``on_round_start``
+    observes the pre-round ``(residual, count)`` state (checkpointing);
+    ``on_round_end`` observes each round's freeze level and frozen ids
+    (trace recording).  Neither hook may mutate the arrays.
+    """
+    np = _np
+    levels = np.empty(n_links, dtype=np.float64)
+    rnd = start_round
+    while remaining > 0:
+        alive = count > 0
+        if not alive.any():
+            # Cannot happen: every active flow keeps each of its
+            # links' counts positive.
+            raise AssertionError("water-filling invariant violated")
+        if on_round_start is not None:
+            on_round_start(rnd, residual, count)
+        levels.fill(_INF)
+        np.divide(residual, count, out=levels, where=alive)
+        lam = float(levels.min())
+        if lam < 0.0:
+            # Float rounding can leave a residual at -1e-16; clamp
+            # so the resulting rates stay non-negative.
+            lam = 0.0
+        sat_idx = np.nonzero(levels <= lam + _BAND * (1.0 + lam))[0]
+
+        # Freeze the active flows on the saturating links.  Each
+        # round touches only those links' member slices (not the
+        # whole incidence), so total gather work across all rounds
+        # is O(nnz).
+        members = gather_members(sat_idx)
+        frozen_ids = members[active[members]]
+        if frozen_ids.size == 0:
+            # Every member of the argmin link was already frozen —
+            # impossible while its count stays positive.
+            raise AssertionError("water-filling invariant violated")
+        frozen_ids = np.unique(frozen_ids)
+        rates[frozen_ids] = lam
+        active[frozen_ids] = False
+        remaining -= int(frozen_ids.size)
+
+        hit = _row_hits(flow_ptr, flow_link, frozen_ids, n_links)
+        residual -= lam * hit
+        count -= hit
+        if on_round_end is not None:
+            on_round_end(rnd, lam, frozen_ids)
+        rnd += 1
+        _ROUNDS.inc()
+    return rnd - start_round
+
+
 def waterfill(compiled: CompiledRouting, caps) -> "Sequence[float]":
     """Vectorized progressive filling; returns per-flow rates as a
     float array indexed like ``compiled.flows``.
@@ -250,61 +342,26 @@ def waterfill(compiled: CompiledRouting, caps) -> "Sequence[float]":
     count = np.diff(compiled.link_ptr).astype(np.float64)
     active = np.ones(n_flows, dtype=bool)
     remaining = n_flows
-    flow_ptr, flow_link = compiled.flow_ptr, compiled.flow_link
     link_ptr, link_flow = compiled.link_ptr, compiled.link_flow
-    levels = np.empty(n_links, dtype=np.float64)
+
+    def gather_members(sat_idx):
+        return np.concatenate(
+            [link_flow[link_ptr[j]:link_ptr[j + 1]] for j in sat_idx]
+        )
 
     _SOLVES.inc()
     with trace_span("maxmin.water_fill_vectorized", flows=n_flows) as span:
-        rounds = 0
-        while remaining > 0:
-            alive = count > 0
-            if not alive.any():
-                # Cannot happen: every active flow keeps each of its
-                # links' counts positive.
-                raise AssertionError("water-filling invariant violated")
-            levels.fill(_INF)
-            np.divide(residual, count, out=levels, where=alive)
-            lam = float(levels.min())
-            if lam < 0.0:
-                # Float rounding can leave a residual at -1e-16; clamp
-                # so the resulting rates stay non-negative.
-                lam = 0.0
-            sat_idx = np.nonzero(levels <= lam + _BAND * (1.0 + lam))[0]
-
-            # Freeze the active flows on the saturating links.  Each
-            # round touches only those links' member slices (not the
-            # whole incidence), so total gather work across all rounds
-            # is O(nnz).
-            members = np.concatenate(
-                [link_flow[link_ptr[j]:link_ptr[j + 1]] for j in sat_idx]
-            )
-            frozen_ids = members[active[members]]
-            if frozen_ids.size == 0:
-                # Every member of the argmin link was already frozen —
-                # impossible while its count stays positive.
-                raise AssertionError("water-filling invariant violated")
-            frozen_ids = np.unique(frozen_ids)
-            rates[frozen_ids] = lam
-            active[frozen_ids] = False
-            remaining -= int(frozen_ids.size)
-
-            # Remove the frozen flows from every link they cross: a
-            # vectorized multi-slice gather of their CSR rows, then one
-            # bincount.
-            lens = flow_ptr[frozen_ids + 1] - flow_ptr[frozen_ids]
-            total = int(lens.sum())
-            offsets = np.repeat(np.cumsum(lens) - lens, lens)
-            idx = (
-                np.repeat(flow_ptr[frozen_ids], lens)
-                + np.arange(total, dtype=np.int64)
-                - offsets
-            )
-            hit = np.bincount(flow_link[idx], minlength=n_links)
-            residual -= lam * hit
-            count -= hit
-            rounds += 1
-            _ROUNDS.inc()
+        rounds = _run_rounds(
+            compiled.flow_ptr,
+            compiled.flow_link,
+            gather_members,
+            n_links,
+            residual,
+            count,
+            active,
+            rates,
+            remaining,
+        )
         span.set(rounds=rounds)
 
     _check_waterfill(compiled, np.asarray(caps, dtype=np.float64), rates)

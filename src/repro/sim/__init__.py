@@ -17,6 +17,7 @@ from repro.sim.policies import (
     ProcessorSharing,
     ReroutingCongestionControl,
 )
+from repro.sim.stream import simulate_sharded, simulate_stream
 
 __all__ = [
     "CompletedJob",
@@ -35,4 +36,6 @@ __all__ = [
     "incast_burst",
     "poisson_workload",
     "simulate",
+    "simulate_sharded",
+    "simulate_stream",
 ]

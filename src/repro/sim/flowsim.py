@@ -39,6 +39,10 @@ _RESOLVE_SKIPS = counter("sim.resolve_skipped")
 #: shows whether a workload's cost comes from sustained load or bursts
 #: (integer observations — exact percentiles, tiny bucket map).
 _ACTIVE = histogram("sim.active_jobs")
+#: Solver-visible events admitted per policy re-solve: same-instant
+#: arrival bursts here, micro-batch windows in ``repro.sim.stream``.
+#: A p50 of 1 means per-event solving; higher means batching is paying.
+_BATCH = histogram("sim.batch_size")
 
 
 class CompletedJob(NamedTuple):
@@ -288,6 +292,7 @@ def _simulate(
             remaining[job.job_id] = job.size
             pending_arrivals -= 1
             needs_resolve = True
+            burst = 1
             while pure and queue:
                 upcoming = queue.peek()
                 if (
@@ -299,6 +304,8 @@ def _simulate(
                 active[job.job_id] = job
                 remaining[job.job_id] = job.size
                 pending_arrivals -= 1
+                burst += 1
+            _BATCH.observe(burst)
 
     return SimulationResult(
         completed=completed,

@@ -1,0 +1,409 @@
+"""Micro-batching simulation loop for streaming allocation (§2.2 under
+churn).
+
+:func:`repro.sim.flowsim.simulate` re-consults its policy at every
+solver-visible event — the fluid idealization in which congestion
+control converges instantly.  Under heavy churn that cadence dominates
+the cost: one water-fill per arrival/departure.  This module trades a
+bounded amount of rate *staleness* for throughput:
+
+- :func:`simulate_stream` drains all events sharing a timestamp **and**
+  every further event landing within a configurable ``batch_window``,
+  applies them to the policy as one delta, and re-solves once per batch.
+  Between re-solves, jobs are served at the standing (piecewise-
+  constant) rates; completions are processed exactly (each pops from a
+  completion heap in O(log F)) but the freed capacity is only
+  redistributed at the next batch boundary.  ``batch_window=0``
+  delegates to :func:`~repro.sim.flowsim.simulate` outright and is
+  byte-identical to it.
+- :func:`simulate_sharded` partitions a pod-local workload into
+  ``pods`` independent shards — sources/destinations by ToR switch,
+  middle switches by index — so the flow×link incidence is
+  block-diagonal and each shard simulates (and water-fills) its own
+  block.  With one pod it reduces exactly to the unsharded loop.
+
+Pair either with ``MaxMinCongestionControl(backend="streaming")`` so
+each batched re-solve is itself incremental: the solver patches the
+affected suffix of water-fill rounds instead of starting over.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import counter, histogram, trace_span
+from repro.sim.events import EventQueue, load_failure_schedule
+from repro.sim.flowsim import (
+    _TIME_EPS,
+    CompletedJob,
+    SimulationError,
+    SimulationResult,
+    simulate,
+)
+from repro.sim.jobs import FlowJob
+
+#: Observability instruments (no-ops unless ``repro.obs`` is enabled).
+_RUNS = counter("sim.stream.runs")
+_EVENTS = counter("sim.events")
+_COMPLETIONS = counter("sim.completions")
+_FAILURES = counter("sim.failures_applied")
+_POLICY_CALLS = counter("sim.policy_consultations")
+_BATCH = histogram("sim.batch_size")
+
+__all__ = ["simulate_stream", "simulate_sharded", "pod_of_switch", "middle_pools"]
+
+
+def simulate_stream(
+    jobs: Sequence[FlowJob],
+    policy,
+    batch_window: float = 0.0,
+    max_time: Optional[float] = None,
+    max_events: int = 1_000_000,
+    failure_schedule=None,
+) -> SimulationResult:
+    """Run ``jobs`` under ``policy``, re-solving at most once per
+    ``batch_window`` of simulated time.
+
+    Contract matches :func:`repro.sim.flowsim.simulate` (same
+    :class:`~repro.sim.flowsim.SimulationResult`, same ``forget`` /
+    ``set_link_factors`` policy hooks); ``batch_window=0`` *is* that
+    function.  With a positive window, a solver-visible change (arrival,
+    served completion, failure) starts a deadline ``now + batch_window``;
+    further changes pile into the same batch and the policy is
+    re-consulted once, at the deadline or at the next forced consult,
+    whichever comes first.  Work accounting stays exact — only the rate
+    *reassignment* is deferred, which is the real-world regime of a
+    centralized allocator with a bounded update cadence (Shah & Xie's
+    centralized congestion control, PAPERS.md).
+
+    The batch size (solver-visible changes absorbed per re-solve) is
+    observed by the ``sim.batch_size`` histogram.
+    """
+    if batch_window <= 0.0:
+        return simulate(
+            jobs,
+            policy,
+            max_time=max_time,
+            max_events=max_events,
+            failure_schedule=failure_schedule,
+        )
+    _RUNS.inc()
+    with trace_span(
+        "sim.simulate_stream", jobs=len(jobs), batch_window=batch_window
+    ) as span:
+        result = _simulate_stream(
+            jobs, policy, batch_window, max_time, max_events, failure_schedule
+        )
+        span.set(
+            completed=len(result.completed),
+            unfinished=len(result.unfinished),
+            sim_end_time=result.end_time,
+        )
+    return result
+
+
+def _simulate_stream(
+    jobs: Sequence[FlowJob],
+    policy,
+    batch_window: float,
+    max_time: Optional[float],
+    max_events: int,
+    failure_schedule,
+) -> SimulationResult:
+    queue = EventQueue()
+    for job in jobs:
+        queue.push(job.arrival, "arrival", job)
+    if failure_schedule is not None:
+        if not hasattr(policy, "set_link_factors"):
+            raise SimulationError(
+                f"{type(policy).__name__} has no set_link_factors hook and "
+                "cannot replay a failure schedule"
+            )
+        load_failure_schedule(queue, failure_schedule)
+
+    active: Dict[int, FlowJob] = {}
+    #: Remaining size per job *as of* ``base_t`` (the last global
+    #: advance), under the standing ``rates``.
+    remaining: Dict[int, float] = {}
+    rates: Dict[int, float] = {}
+    completed: List[CompletedJob] = []
+    link_factors: Dict = {}
+    work_done = 0.0
+    now = 0.0
+    base_t = 0.0
+    events = 0
+    #: Completion heap entries ``(finish_time, job_id, epoch)``; stale
+    #: epochs (from before the latest re-solve) are dropped lazily.
+    heap: List[Tuple[float, int, int]] = []
+    epoch = 0
+    #: Pending re-solve deadline and the change count it will absorb.
+    deadline: Optional[float] = None
+    pending = 0
+
+    def advance_to(target: float) -> None:
+        """Serve every job at its standing rate up to ``target``."""
+        nonlocal base_t, work_done
+        dt = target - base_t
+        if dt < -_TIME_EPS:
+            raise SimulationError(f"time went backwards: {base_t} -> {target}")
+        if dt > 0.0:
+            for jid, rate in rates.items():
+                if rate > 0 and jid in remaining:
+                    served = min(remaining[jid], rate * dt)
+                    remaining[jid] -= served
+                    work_done += served
+        base_t = target
+
+    def retire(jid: int, at: float, served: float) -> None:
+        nonlocal work_done
+        job = active.pop(jid)
+        remaining.pop(jid, None)
+        work_done += served
+        policy.forget(jid)
+        duration = at - job.arrival
+        completed.append(
+            CompletedJob(
+                job=job,
+                completion_time=at,
+                duration=duration,
+                slowdown=duration / job.size if job.size > 0 else 1.0,
+            )
+        )
+        _COMPLETIONS.inc()
+
+    def consult(at: float) -> None:
+        """The batch boundary: advance, re-solve, rebuild the heap."""
+        nonlocal rates, epoch, deadline, pending
+        advance_to(at)
+        # Retire anything that drained to zero exactly at the boundary
+        # (zero-size arrivals, simultaneous completions).
+        for jid in [j for j, left in remaining.items() if left <= _TIME_EPS]:
+            retire(jid, at, 0.0)
+        _POLICY_CALLS.inc()
+        _BATCH.observe(max(1, pending))
+        rates = policy.rates(active, remaining, at)
+        pending = 0
+        deadline = None
+        epoch += 1
+        heap.clear()
+        for jid, rate in rates.items():
+            if rate > 0 and jid in remaining:
+                heapq.heappush(
+                    heap, (at + remaining[jid] / rate, jid, epoch)
+                )
+
+    def touch(at: float) -> None:
+        """Register one solver-visible change at time ``at``."""
+        nonlocal deadline, pending
+        pending += 1
+        candidate = at + batch_window
+        if deadline is None or candidate < deadline:
+            deadline = candidate
+
+    pending_arrivals = len(jobs)
+    while queue or active:
+        if not active and pending_arrivals == 0:
+            break  # only failure events remain; nothing left to serve
+        events += 1
+        _EVENTS.inc()
+        if events > max_events:
+            raise SimulationError(f"exceeded {max_events} events")
+        if max_time is not None and now >= max_time:
+            break
+
+        # Next thing that happens: queued event, valid completion, or
+        # the batch deadline.
+        while heap and heap[0][2] != epoch:
+            heapq.heappop(heap)
+        next_completion = heap[0][0] if heap else None
+        next_event = queue.peek()
+        next_t = math.inf if max_time is None else max_time
+        if next_event is not None:
+            next_t = min(next_t, next_event.time)
+        if next_completion is not None:
+            next_t = min(next_t, next_completion)
+        if deadline is not None:
+            next_t = min(next_t, deadline)
+        if math.isinf(next_t):
+            raise SimulationError(
+                f"{len(active)} jobs active but none served; "
+                "the policy starved the residual workload"
+            )
+        if max_time is not None and next_t > max_time:
+            next_t = max_time
+        now = next_t
+        if max_time is not None and now >= max_time:
+            break
+
+        if next_completion is not None and next_completion <= now + _TIME_EPS:
+            finish, jid, _ = heapq.heappop(heap)
+            # The job's full residual was served over [base_t, finish];
+            # account it directly and leave the others' lazily advanced
+            # state untouched (their rates are unchanged).
+            served = remaining.get(jid, 0.0)
+            if jid in active:
+                retire(jid, finish, served)
+                remaining.pop(jid, None)
+                touch(finish)  # freed capacity -> re-solve within window
+            continue
+
+        if next_event is not None and next_event.time <= now + _TIME_EPS:
+            event = queue.pop()
+            if event.kind == "failure":
+                link_factors[event.payload.link] = event.payload.factor
+                _FAILURES.inc()
+                while queue:
+                    upcoming = queue.peek()
+                    if (
+                        upcoming.kind != "failure"
+                        or upcoming.time > event.time + _TIME_EPS
+                    ):
+                        break
+                    failure = queue.pop().payload
+                    link_factors[failure.link] = failure.factor
+                    _FAILURES.inc()
+                policy.set_link_factors(dict(link_factors))
+                touch(event.time)
+                continue
+            job = event.payload
+            if job.size <= _TIME_EPS:
+                # Zero-size transfer: completes the instant it arrives,
+                # never contends — matching the per-event loop.
+                active[job.job_id] = job
+                pending_arrivals -= 1
+                retire(job.job_id, event.time, 0.0)
+                continue
+            active[job.job_id] = job
+            remaining[job.job_id] = job.size
+            pending_arrivals -= 1
+            touch(event.time)
+            continue
+
+        # The batch deadline is the earliest happening: re-solve.
+        consult(now)
+
+    advance_to(now)
+    for jid in [j for j, left in remaining.items() if left <= _TIME_EPS]:
+        retire(jid, now, 0.0)
+    return SimulationResult(
+        completed=completed,
+        unfinished=list(active.values()),
+        work_done=work_done,
+        end_time=now,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pod sharding
+# ----------------------------------------------------------------------
+def pod_of_switch(switch: int, num_switches: int, pods: int) -> int:
+    """The pod (0-based) owning ToR switch ``switch`` (1-based)."""
+    return (switch - 1) * pods // num_switches
+
+
+def middle_pools(num_middles: int, pods: int) -> List[Tuple[int, ...]]:
+    """Partition middle-switch indices ``1..num_middles`` into ``pods``
+    contiguous pools (every pool non-empty; requires
+    ``pods <= num_middles``)."""
+    if not 1 <= pods <= num_middles:
+        raise ValueError(
+            f"pods must be in 1..{num_middles} (one middle per pod), "
+            f"got {pods}"
+        )
+    pools: List[List[int]] = [[] for _ in range(pods)]
+    for m in range(1, num_middles + 1):
+        pools[(m - 1) * pods // num_middles].append(m)
+    return [tuple(pool) for pool in pools]
+
+
+def simulate_sharded(
+    network,
+    jobs: Sequence[FlowJob],
+    pods: int = 1,
+    batch_window: float = 0.0,
+    router: str = "ecmp",
+    seed: int = 0,
+    max_time: Optional[float] = None,
+    max_events: int = 1_000_000,
+) -> SimulationResult:
+    """Simulate a pod-local workload as ``pods`` independent shards.
+
+    Sources/destinations are partitioned by ToR switch index and the
+    middle switches into ``pods`` contiguous pools; each shard gets its
+    own ``MaxMinCongestionControl(backend="streaming")`` restricted to
+    its pool, so its flow×link incidence block never overlaps another
+    shard's and simulating them separately is exact, not an
+    approximation.  Every job must be pod-local (source and destination
+    in the same pod — e.g. :func:`repro.workloads.stochastic.
+    churn_workload` with matching ``pods``); a cross-pod job raises
+    :class:`~repro.sim.flowsim.SimulationError`.
+
+    With ``pods=1`` the single pool is all middles — hash-identical
+    pinning to unrestricted ECMP — and the result is byte-identical to
+    :func:`simulate_stream` on the whole workload.
+
+    Results are merged deterministically: completions sorted by
+    ``(completion_time, job_id)``, unfinished jobs by ``job_id``,
+    ``work_done`` summed, ``end_time`` the latest shard clock.
+    """
+    from repro.sim.policies import MaxMinCongestionControl
+
+    pools = middle_pools(network.num_middles, pods)
+    num_switches = 2 * network.n
+    if pods > num_switches:
+        raise ValueError(
+            f"pods must be <= {num_switches} (one ToR switch per pod), "
+            f"got {pods}"
+        )
+    shards: List[List[FlowJob]] = [[] for _ in range(pods)]
+    for job in jobs:
+        pod = pod_of_switch(job.source.switch, num_switches, pods)
+        dest_pod = pod_of_switch(job.dest.switch, num_switches, pods)
+        if dest_pod != pod:
+            raise SimulationError(
+                f"job {job.job_id} crosses pods ({pod} -> {dest_pod}); "
+                "sharded simulation requires a pod-local workload"
+            )
+        shards[pod].append(job)
+
+    with trace_span(
+        "sim.simulate_sharded",
+        jobs=len(jobs),
+        pods=pods,
+        batch_window=batch_window,
+    ):
+        completed: List[CompletedJob] = []
+        unfinished: List[FlowJob] = []
+        work_done = 0.0
+        end_time = 0.0
+        for pod, shard_jobs in enumerate(shards):
+            if not shard_jobs:
+                continue
+            policy = MaxMinCongestionControl(
+                network,
+                router=router,
+                seed=seed,
+                backend="streaming",
+                middle_pool=pools[pod],
+            )
+            result = simulate_stream(
+                shard_jobs,
+                policy,
+                batch_window=batch_window,
+                max_time=max_time,
+                max_events=max_events,
+            )
+            completed.extend(result.completed)
+            unfinished.extend(result.unfinished)
+            work_done += result.work_done
+            end_time = max(end_time, result.end_time)
+    completed.sort(key=lambda c: (c.completion_time, c.job.job_id))
+    unfinished.sort(key=lambda job: job.job_id)
+    return SimulationResult(
+        completed=completed,
+        unfinished=unfinished,
+        work_done=work_done,
+        end_time=end_time,
+    )

@@ -1,5 +1,6 @@
 """Workload generators: the paper's adversarial constructions and stochastic traffic."""
 
+from repro.workloads.stochastic import churn_workload
 from repro.workloads.trace import TraceError, load_trace, save_trace
 from repro.workloads.planted import (
     PlantedInstance,
@@ -32,6 +33,7 @@ __all__ = [
     "theorem_4_3",
     "theorem_5_4",
     "TraceError",
+    "churn_workload",
     "load_trace",
     "save_trace",
 ]

@@ -1,0 +1,193 @@
+"""Tests for the micro-batching stream loop and pod sharding.
+
+The contract under test: ``simulate_stream(batch_window=0)`` *is*
+:func:`repro.sim.flowsim.simulate`; the ``streaming`` policy backend is
+byte-identical to ``vectorized`` at every consult (so whole-simulation
+results match exactly); batching trades rate staleness for throughput
+but never loses work; and with one pod the sharded loop reduces exactly
+to the unsharded one.
+"""
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro import obs
+from repro.core.topology import ClosNetwork
+from repro.sim.flowsim import SimulationError, simulate
+from repro.sim.jobs import FlowJob, poisson_workload
+from repro.sim.policies import MaxMinCongestionControl
+from repro.sim.stream import (
+    middle_pools,
+    pod_of_switch,
+    simulate_sharded,
+    simulate_stream,
+)
+from repro.workloads.stochastic import churn_workload
+
+
+@pytest.fixture
+def clos():
+    return ClosNetwork(2)
+
+
+def _job(clos, jid, i, j, oi, oj, arrival=0.0, size=1.0):
+    return FlowJob(
+        jid, clos.source(i, j), clos.destination(oi, oj), arrival, size
+    )
+
+
+class TestWindowZeroIdentity:
+    """``batch_window=0`` delegates to the per-event loop outright."""
+
+    def test_byte_identical_to_simulate(self, clos):
+        jobs = poisson_workload(clos, rate=2.0, horizon=10.0, seed=3)
+        policy_a = MaxMinCongestionControl(clos, backend="streaming")
+        policy_b = MaxMinCongestionControl(clos, backend="streaming")
+        assert simulate_stream(jobs, policy_a, batch_window=0.0) == simulate(
+            jobs, policy_b
+        )
+
+    def test_streaming_policy_matches_vectorized(self, clos):
+        jobs = poisson_workload(clos, rate=3.0, horizon=10.0, seed=5)
+        streamed = simulate(
+            jobs, MaxMinCongestionControl(clos, backend="streaming")
+        )
+        vectorized = simulate(
+            jobs, MaxMinCongestionControl(clos, backend="vectorized")
+        )
+        assert streamed == vectorized
+
+    def test_streaming_policy_matches_under_failures(self, clos):
+        """PR 6's staleness hazard, now for the streaming backend: a
+        failure schedule flips links finite<->infinite mid-run and the
+        solver must re-derive membership rather than patch over it."""
+        from fractions import Fraction
+
+        from repro.failures.schedule import FailureSchedule
+
+        jobs = poisson_workload(clos, rate=2.0, horizon=6.0, seed=5)
+        schedule = FailureSchedule.random_flaps(
+            clos, count=3, horizon=4.0, seed=5, severity=Fraction(1, 4)
+        )
+        streamed = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=5, backend="streaming"),
+            failure_schedule=schedule,
+        )
+        vectorized = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=5, backend="vectorized"),
+            failure_schedule=schedule,
+        )
+        assert streamed == vectorized
+
+    def test_streaming_policy_matches_under_full_kill(self, clos):
+        from repro.failures.schedule import FailureSchedule
+
+        jobs = poisson_workload(clos, rate=2.0, horizon=6.0, seed=9)
+        schedule = FailureSchedule.random_flaps(
+            clos, count=2, horizon=4.0, seed=9, severity=0
+        )
+        streamed = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=9, backend="streaming"),
+            failure_schedule=schedule,
+        )
+        vectorized = simulate(
+            jobs,
+            MaxMinCongestionControl(clos, seed=9, backend="vectorized"),
+            failure_schedule=schedule,
+        )
+        assert streamed == vectorized
+
+
+class TestBatchedConservation:
+    def test_all_work_delivered(self, clos):
+        jobs = churn_workload(clos, rate=20.0, horizon=4.0, seed=2)
+        policy = MaxMinCongestionControl(clos, backend="streaming")
+        result = simulate_stream(jobs, policy, batch_window=0.05)
+        assert not result.unfinished
+        assert len(result.completed) == len(jobs)
+        assert result.work_done == pytest.approx(sum(j.size for j in jobs))
+
+    def test_completions_never_precede_arrivals(self, clos):
+        jobs = churn_workload(clos, rate=15.0, horizon=4.0, seed=4)
+        policy = MaxMinCongestionControl(clos, backend="streaming")
+        result = simulate_stream(jobs, policy, batch_window=0.1)
+        for done in result.completed:
+            assert done.completion_time >= done.job.arrival - 1e-9
+
+    def test_staleness_is_bounded(self, clos):
+        """A batched single job still finishes in ~size time: the first
+        consult happens within one window of its arrival."""
+        job = _job(clos, 0, 1, 1, 3, 1, size=2.0)
+        policy = MaxMinCongestionControl(clos, backend="streaming")
+        result = simulate_stream([job], policy, batch_window=0.25)
+        assert len(result.completed) == 1
+        assert result.completed[0].completion_time <= 2.0 + 0.25 + 1e-9
+
+    def test_max_events_guard(self, clos):
+        jobs = churn_workload(clos, rate=10.0, horizon=5.0, seed=6)
+        policy = MaxMinCongestionControl(clos, backend="streaming")
+        with pytest.raises(SimulationError):
+            simulate_stream(jobs, policy, batch_window=0.05, max_events=2)
+
+
+class TestSharding:
+    def test_one_pod_reduces_to_stream(self, clos):
+        jobs = churn_workload(clos, rate=20.0, horizon=3.0, pods=1, seed=7)
+        policy = MaxMinCongestionControl(
+            clos, backend="streaming", middle_pool=tuple(
+                range(1, clos.num_middles + 1)
+            )
+        )
+        unsharded = simulate_stream(jobs, policy, batch_window=0.05)
+        sharded = simulate_sharded(
+            clos, jobs, pods=1, batch_window=0.05, seed=0
+        )
+        assert sharded == unsharded
+
+    def test_sharded_conserves_work(self):
+        clos = ClosNetwork(4)
+        jobs = churn_workload(clos, rate=30.0, horizon=3.0, pods=2, seed=8)
+        result = simulate_sharded(clos, jobs, pods=2, batch_window=0.05)
+        assert not result.unfinished
+        assert result.work_done == pytest.approx(sum(j.size for j in jobs))
+
+    def test_cross_pod_job_rejected(self):
+        clos = ClosNetwork(4)
+        # switch 1 is pod 0, switch 8 is pod 1 under pods=2.
+        job = FlowJob(0, clos.source(1, 1), clos.destination(8, 1), 0.0, 1.0)
+        with pytest.raises(SimulationError, match="crosses pods"):
+            simulate_sharded(clos, [job], pods=2, batch_window=0.05)
+
+    def test_pod_of_switch_partitions(self):
+        # 8 ToR switches into 2 pods: 1-4 -> 0, 5-8 -> 1.
+        assert [pod_of_switch(s, 8, 2) for s in range(1, 9)] == [
+            0, 0, 0, 0, 1, 1, 1, 1,
+        ]
+
+    def test_middle_pools_partition(self):
+        pools = middle_pools(4, 2)
+        assert pools == [(1, 2), (3, 4)]
+        assert middle_pools(3, 1) == [(1, 2, 3)]
+        with pytest.raises(ValueError):
+            middle_pools(2, 3)
+
+
+class TestBatchSizeHistogram:
+    def test_histogram_observed(self, clos):
+        obs.reset()
+        obs.enable()
+        try:
+            jobs = churn_workload(clos, rate=20.0, horizon=3.0, seed=9)
+            policy = MaxMinCongestionControl(clos, backend="streaming")
+            simulate_stream(jobs, policy, batch_window=0.1)
+            snap = obs.metrics_snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+        batch = snap["sim.batch_size"]
+        assert batch["count"] >= 1
+        assert batch["max"] >= 1

@@ -211,7 +211,7 @@ class TestSolveDispatch:
         capacities = clos.graph.capacities()
         reference = solve_max_min(routing, capacities, backend="reference")
         for backend in BACKENDS:
-            if backend == "vectorized" and not HAVE_NUMPY:
+            if backend in ("vectorized", "streaming") and not HAVE_NUMPY:
                 continue
             alloc = solve_max_min(routing, capacities, backend=backend)
             for flow in routing.flows():
