@@ -212,6 +212,51 @@ def scenario_flowsim_churn_event() -> None:
     absorb_churn(caps, events, per_event=True, limit=192)
 
 
+def _batch_instances():
+    """128 independent small scenarios (the E4/E5-sweep workload shape):
+    ``Clos(3)`` with 60 seeded-random flows each, ECMP-routed.  The
+    cache holds the ``(routing, capacities)`` pairs *and* the compiled
+    block-diagonal batch, so the two ``batched_sweep*`` scenarios time
+    the water-fill alone — same instances, same compiled incidences,
+    one stacked vs. 128 per-instance kernel invocations."""
+    if "batch" not in _SOLVER_CACHE:
+        from repro.core.batched import compile_batch
+        from repro.core.vectorized import capacity_vector, compile_routing
+
+        clos = ClosNetwork(3)
+        caps = clos.graph.capacities()
+        pairs = []
+        for seed in range(128):
+            flows = uniform_random(clos, 60, seed=seed)
+            pairs.append((ecmp_routing(clos, flows, seed=seed), caps))
+        compiled_parts = []
+        for routing, capacities in pairs:
+            compiled = compile_routing(routing, capacities)
+            compiled_parts.append(
+                (compiled, capacity_vector(compiled, capacities))
+            )
+        _SOLVER_CACHE["batch"] = (pairs, compile_batch(pairs), compiled_parts)
+    return _SOLVER_CACHE["batch"]
+
+
+def scenario_batched_sweep() -> None:
+    """All 128 scenarios in one block-diagonal batched water-fill."""
+    from repro.core.batched import waterfill_batch
+
+    _, batch, _ = _batch_instances()
+    waterfill_batch(batch)
+
+
+def scenario_batched_sweep_perinstance() -> None:
+    """The same 128 scenarios solved by 128 per-instance vectorized
+    water-fills (the pre-batching dispatch this PR replaces)."""
+    from repro.core.vectorized import waterfill
+
+    _, _, compiled_parts = _batch_instances()
+    for compiled, caps_vector in compiled_parts:
+        waterfill(compiled, caps_vector)
+
+
 def scenario_flowsim_churn_batched() -> None:
     """The streaming allocation service: the same sequence absorbed in
     4096-event batches by one incremental solver."""
@@ -242,6 +287,8 @@ else:
     SCENARIOS["vectorized_waterfill"] = scenario_vectorized_waterfill
     SCENARIOS["flowsim_churn_event"] = scenario_flowsim_churn_event
     SCENARIOS["flowsim_churn_batched"] = scenario_flowsim_churn_batched
+    SCENARIOS["batched_sweep"] = scenario_batched_sweep
+    SCENARIOS["batched_sweep_perinstance"] = scenario_batched_sweep_perinstance
 
 
 def collect(repeat: int = 3) -> Dict[str, Any]:

@@ -51,6 +51,7 @@ __all__ = [
     "CROSS_CHECK_TOL",
     "ChaosInstance",
     "FuzzReport",
+    "batched_cross_check",
     "churn_snapshots",
     "cross_check",
     "fuzz",
@@ -383,6 +384,124 @@ def cross_check(
     return failures
 
 
+def batched_cross_check(
+    instances: Sequence[ChaosInstance],
+    directory: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Solve a *group* of instances in one block-diagonal batch and
+    compare every scenario against its per-instance exact reference
+    solve, all under full validation.
+
+    This is the fuzz-level guard for :mod:`repro.core.batched`: the
+    batched kernel promises per-scenario independence (block-diagonal
+    stacking must never let one adversarial scenario bleed into its
+    neighbors), so the whole group is solved *together* and each
+    scenario's rates must still match its own reference within
+    :data:`CROSS_CHECK_TOL`.  Instances the reference rejects must be
+    rejected by a batched solve too (checked individually).  When the
+    group solve itself fails, the failure is localized by re-solving
+    one scenario at a time.  Returns quarantined failure records like
+    :func:`cross_check`; empty without NumPy.
+    """
+    from repro.core.batched import solve_max_min_batch
+    from repro.core.solve import solve_max_min
+
+    _CHECKS.inc()
+    failures: List[Dict[str, Any]] = []
+
+    def solve_one(instance: ChaosInstance) -> Optional[Allocation]:
+        """Batched solve of a single instance, recording any defect."""
+        try:
+            with validation("full"):
+                (allocation,) = solve_max_min_batch(
+                    [(instance.routing, instance.capacities)]
+                )
+            return allocation
+        except CertificateError as error:
+            failures.append(
+                _failure(
+                    instance, "batched", "certificate", error.failures,
+                    directory=directory,
+                )
+            )
+        except ReproError as error:
+            failures.append(
+                _failure(
+                    instance, "batched", "error-mismatch",
+                    [
+                        f"batched solve raised {type(error).__name__}: "
+                        f"{error} but the reference solved the instance"
+                    ],
+                    directory=directory,
+                )
+            )
+        return None
+
+    def check(instance: ChaosInstance, allocation, reference) -> None:
+        diffs = rate_disagreements(
+            allocation.rates(), reference.rates(), tol=CROSS_CHECK_TOL
+        )
+        if diffs:
+            failures.append(
+                _failure(
+                    instance, "batched", "disagreement", diffs,
+                    rates=allocation.rates(), directory=directory,
+                )
+            )
+
+    solvable: List[Tuple[ChaosInstance, Allocation]] = []
+    for instance in instances:
+        try:
+            with validation("full"):
+                reference = solve_max_min(
+                    instance.routing, instance.capacities, backend="reference"
+                )
+        except ReproError as error:
+            # The reference rejects this instance (unbounded rate,
+            # certificate, ...): a batched solve must reject it too.
+            try:
+                with validation("full"):
+                    solve_max_min_batch(
+                        [(instance.routing, instance.capacities)]
+                    )
+            except BackendUnavailableError:
+                return failures
+            except ReproError:
+                continue  # agreement on rejection
+            failures.append(
+                _failure(
+                    instance, "batched", "error-mismatch",
+                    [
+                        "batched solve accepted an instance the reference "
+                        f"rejects with {type(error).__name__}: {error}"
+                    ],
+                    directory=directory,
+                )
+            )
+            continue
+        solvable.append((instance, reference))
+
+    if not solvable:
+        return failures
+    try:
+        with validation("full"):
+            allocations = solve_max_min_batch(
+                [(inst.routing, inst.capacities) for inst, _ in solvable]
+            )
+    except BackendUnavailableError:
+        return failures
+    except ReproError:
+        # Localize: some scenario fails inside the group — find it.
+        for instance, reference in solvable:
+            allocation = solve_one(instance)
+            if allocation is not None:
+                check(instance, allocation, reference)
+        return failures
+    for (instance, reference), allocation in zip(solvable, allocations):
+        check(instance, allocation, reference)
+    return failures
+
+
 def stream_churn_check(
     seed: int, directory: Optional[str] = None
 ) -> List[Dict[str, Any]]:
@@ -504,11 +623,13 @@ def fuzz(
 
     Every ``churn_every``-th seed additionally replays a churn stream
     through the flow-level simulator, cross-checks each sampled state
-    (``churn_every=0`` disables churn), and drives a stateful
+    (``churn_every=0`` disables churn), drives a stateful
     arrival/departure sequence through the streaming incremental solver
-    under full validation (:func:`stream_churn_check`).  All defects are
-    quarantined into ``directory`` (default: the ambient quarantine
-    directory).
+    under full validation (:func:`stream_churn_check`), and solves the
+    seed's whole instance group as one block-diagonal batch, checking
+    each scenario against its per-instance reference solve
+    (:func:`batched_cross_check`).  All defects are quarantined into
+    ``directory`` (default: the ambient quarantine directory).
     """
     if seeds < 0:
         raise ValueError(f"seeds must be >= 0, got {seeds}")
@@ -526,6 +647,12 @@ def fuzz(
                 cross_check(instance, backends=backends, directory=directory)
             )
         if churn_every and seed % churn_every == 0:
+            batched_wanted = backends is None or "batched" in backends
+            if batched_wanted:
+                checks += 1
+                failures.extend(
+                    batched_cross_check(batch, directory=directory)
+                )
             streaming_wanted = backends is None or "streaming" in backends
             if streaming_wanted:
                 try:

@@ -520,10 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--n", type=int, help="network size (e6)")
     profile.add_argument(
         "--backend",
-        choices=["reference", "heap", "vectorized", "quotient", "streaming"],
+        choices=[
+            "reference", "heap", "vectorized", "quotient", "streaming",
+            "batched",
+        ],
         help="max-min solver backend for e4/e5/e6 "
         "(quotient = exact symmetry reduction, scales to n >= 64; "
-        "streaming = incremental under churn)",
+        "streaming = incremental under churn; batched = all sweep "
+        "points stacked into one block-diagonal float batch)",
     )
     profile.add_argument(
         "--trace", help="write the span trees to this JSONL file"
@@ -553,8 +557,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for sweep points (worker telemetry is "
-        "shipped back and merged; 0 = all cores)",
+        help="worker processes for sweep points (non-negative; 0 means "
+        "all cores; worker telemetry is shipped back and merged)",
     )
 
     stats = sub.add_parser(
@@ -602,17 +606,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--backend",
-        choices=["reference", "heap", "vectorized", "quotient", "streaming"],
+        choices=[
+            "reference", "heap", "vectorized", "quotient", "streaming",
+            "batched",
+        ],
         help="max-min solver backend for e4/e5/e6 "
         "(quotient = exact symmetry reduction, scales to n >= 64; "
-        "streaming = incremental under churn)",
+        "streaming = incremental under churn; batched = all sweep "
+        "points stacked into one block-diagonal float batch)",
     )
     run.add_argument(
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for sweep points (0 = all cores; "
-        "results are identical to --jobs 1, just faster)",
+        help="worker processes for sweep points (non-negative; 0 means "
+        "all cores; results are identical to --jobs 1, just faster)",
     )
     run.add_argument(
         "--timeout",

@@ -46,6 +46,7 @@ points and ``docs/ROBUSTNESS.md`` for the fallback/quarantine design.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import os
 from typing import Mapping, Optional
@@ -75,8 +76,39 @@ _AUTO_SOLVES = counter("solver.auto.solves")
 _SHADOW_CHECKS = counter("solver.shadow.checks")
 _SHADOW_DISAGREEMENTS = counter("solver.shadow.disagreements")
 
-#: Monotone sequence of auto solves, driving shadow sampling.
-_AUTO_SEQ = itertools.count(1)
+class _ProcessSeq:
+    """Monotone per-process sequence of auto solves, driving shadow sampling.
+
+    A bare ``itertools.count(1)`` is inherited at fork, so every worker
+    of a ``--jobs N`` sweep would shadow-check the *same* solve ordinals
+    — ``REPRO_SHADOW`` coverage clusters on identical positions instead
+    of sampling each worker's stream independently.  The counter is
+    re-seeded with a pid-derived salt the first time it is consumed in a
+    new process, decorrelating the workers' sampled ordinals.
+    """
+
+    __slots__ = ("_pid", "_count")
+
+    def __init__(self) -> None:
+        self._pid: Optional[int] = None
+        self._count = itertools.count(1)
+
+    @staticmethod
+    def _salt(pid: int) -> int:
+        digest = hashlib.sha256(f"shadow-seq:{pid}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    def __next__(self) -> int:
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self._count = itertools.count(1 + self._salt(pid))
+        return next(self._count)
+
+
+#: Monotone sequence of auto solves, driving shadow sampling
+#: (pid-salted so forked workers sample different ordinals).
+_AUTO_SEQ = _ProcessSeq()
 
 __all__ = [
     "AUTO_CHAIN_EXACT",

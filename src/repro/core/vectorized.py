@@ -221,13 +221,16 @@ def capacity_vector(
     )
 
 
-def _row_hits(flow_ptr, flow_link, frozen_ids, n_links):
+def _row_hits(flow_ptr, flow_link, frozen_ids, n_links, link_base=0):
     """Per-link occurrence counts over ``frozen_ids``' CSR rows.
 
     A vectorized multi-slice gather of the rows followed by one
     ``bincount`` — the round kernel's "remove these flows from every
     link they cross" step, shared with the streaming solver's
-    checkpoint replay (:mod:`repro.core.streaming`).
+    checkpoint replay (:mod:`repro.core.streaming`) and the batched
+    multi-scenario kernel (:mod:`repro.core.batched`, which passes
+    ``link_base`` to translate global block-diagonal link ids into the
+    chunk-local range ``[0, n_links)``).
     """
     np = _np
     lens = flow_ptr[frozen_ids + 1] - flow_ptr[frozen_ids]
@@ -238,7 +241,10 @@ def _row_hits(flow_ptr, flow_link, frozen_ids, n_links):
         + np.arange(total, dtype=np.int64)
         - offsets
     )
-    return np.bincount(flow_link[idx], minlength=n_links)
+    columns = flow_link[idx]
+    if link_base:
+        columns = columns - link_base
+    return np.bincount(columns, minlength=n_links)
 
 
 def _run_rounds(

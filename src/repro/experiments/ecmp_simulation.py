@@ -20,7 +20,7 @@ macro-switch rates.  This harness reproduces both halves:
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Dict, List, NamedTuple, Sequence
+from typing import Callable, Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.analysis.metrics import compare_to_macro, summarize_rates
 from repro.core.allocation import Allocation, lex_compare
@@ -65,6 +65,37 @@ def _routers(
     }
 
 
+def _score(
+    name: str,
+    router: str,
+    seed: int,
+    macro_alloc: Allocation,
+    routing: Routing,
+    alloc: Allocation,
+    lex_tol: float,
+) -> RouterComparisonRow:
+    """Score a solved allocation against the macro-switch allocation."""
+    comparison = compare_to_macro(alloc, macro_alloc)
+    mean_ratio = sum(float(v) for v in comparison.ratios.values()) / len(
+        comparison.ratios
+    )
+    return RouterComparisonRow(
+        workload=name,
+        router=router,
+        seed=seed,
+        num_flows=len(routing),
+        throughput_fraction=alloc.throughput() / macro_alloc.throughput(),
+        min_rate_ratio=comparison.min_ratio,
+        mean_rate_ratio=mean_ratio,
+        lex_at_most_macro=(
+            lex_compare(
+                alloc.sorted_vector(), macro_alloc.sorted_vector(), tol=lex_tol
+            )
+            <= 0
+        ),
+    )
+
+
 def _compare(
     name: str,
     router: str,
@@ -91,25 +122,35 @@ def _compare(
     else:
         alloc = max_min_fair(routing, network.graph.capacities())
         lex_tol = 0.0
-    comparison = compare_to_macro(alloc, macro_alloc)
-    mean_ratio = sum(float(v) for v in comparison.ratios.values()) / len(
-        comparison.ratios
+    return _score(name, router, seed, macro_alloc, routing, alloc, lex_tol)
+
+
+def _batch_compare(
+    cells: List[Tuple[str, str, int, Routing]],
+    capacities,
+    macro_allocs: Dict[Tuple[str, int], Allocation],
+    jobs: int = 1,
+) -> List[RouterComparisonRow]:
+    """Solve every (workload, router) cell's allocation in one batch.
+
+    All candidate routings share the same Clos capacities, so the whole
+    comparison table becomes one block-diagonal float batch — one
+    solver invocation instead of |workloads|·|routers| — scored against
+    the exact macro allocations with the float backends' 1e-9
+    lexicographic tolerance.
+    """
+    from repro.core.batched import solve_max_min_batch
+
+    allocations = solve_max_min_batch(
+        [(routing, capacities) for _, _, _, routing in cells], jobs=jobs
     )
-    return RouterComparisonRow(
-        workload=name,
-        router=router,
-        seed=seed,
-        num_flows=len(routing),
-        throughput_fraction=alloc.throughput() / macro_alloc.throughput(),
-        min_rate_ratio=comparison.min_ratio,
-        mean_rate_ratio=mean_ratio,
-        lex_at_most_macro=(
-            lex_compare(
-                alloc.sorted_vector(), macro_alloc.sorted_vector(), tol=lex_tol
-            )
-            <= 0
-        ),
-    )
+    return [
+        _score(
+            name, router, seed, macro_allocs[(name, seed)], routing, alloc,
+            lex_tol=1e-9,
+        )
+        for (name, router, seed, routing), alloc in zip(cells, allocations)
+    ]
 
 
 def stochastic_comparison(
@@ -117,16 +158,23 @@ def stochastic_comparison(
     num_flows: int = 30,
     seeds: Sequence[int] = range(3),
     backend: str = None,
+    jobs: int = 1,
 ) -> List[RouterComparisonRow]:
     """E6, stochastic half: three routers across three workload families.
 
     ``backend="vectorized"`` (or ``"heap"``) solves the per-router
     allocations in floats, the right trade for large ``num_flows``; the
     macro-switch reference allocation stays exact either way.
+    ``backend="batched"`` solves *all* (workload, router, seed) cells'
+    allocations in one block-diagonal float batch — one solver
+    invocation for the whole table (``jobs > 1`` splits it over shared
+    memory).
     """
     network = ClosNetwork(n)
     macro_network = MacroSwitch(n)
     rows: List[RouterComparisonRow] = []
+    cells: List[Tuple[str, str, int, Routing]] = []
+    macro_allocs: Dict[Tuple[str, int], Allocation] = {}
     for seed in seeds:
         workloads: Dict[str, FlowCollection] = {
             "uniform": uniform_random(network, num_flows, seed=seed),
@@ -135,6 +183,11 @@ def stochastic_comparison(
         }
         for name, flows in workloads.items():
             macro_alloc = macro_switch_max_min(macro_network, flows)
+            if backend == "batched":
+                macro_allocs[(name, seed)] = macro_alloc
+                for router, routing in _routers(network, flows, seed).items():
+                    cells.append((name, router, seed, routing))
+                continue
             for router, routing in _routers(network, flows, seed).items():
                 rows.append(
                     _compare(
@@ -142,6 +195,10 @@ def stochastic_comparison(
                         backend=backend,
                     )
                 )
+    if backend == "batched":
+        return _batch_compare(
+            cells, network.graph.capacities(), macro_allocs, jobs=jobs
+        )
     return rows
 
 
@@ -151,8 +208,19 @@ def adversarial_comparison(
     """E6, worst-case half: the same routers on the Theorem 4.3 flows."""
     instance = theorem_4_3(n)
     macro_alloc = macro_switch_max_min(instance.macro, instance.flows)
+    routers = _routers(instance.clos, instance.flows, seed=0)
+    if backend == "batched":
+        cells = [
+            ("theorem_4_3", router, 0, routing)
+            for router, routing in routers.items()
+        ]
+        return _batch_compare(
+            cells,
+            instance.clos.graph.capacities(),
+            {("theorem_4_3", 0): macro_alloc},
+        )
     rows: List[RouterComparisonRow] = []
-    for router, routing in _routers(instance.clos, instance.flows, seed=0).items():
+    for router, routing in routers.items():
         rows.append(
             _compare(
                 "theorem_4_3", router, 0, instance.clos, macro_alloc, routing,

@@ -151,6 +151,89 @@ def _starvation_point(
     )
 
 
+def _rate_close(measured, predicted) -> bool:
+    """Exact equality for exact rates; 1e-9-relative for float rates."""
+    if isinstance(measured, Fraction):
+        return measured == predicted
+    reference = float(predicted)
+    return abs(measured - reference) <= 1e-9 * (1.0 + abs(reference))
+
+
+def _starvation_rows_batched(
+    sizes: Sequence[int],
+    check_local_optimality: bool,
+    certify: bool,
+    jobs: int,
+) -> List[StarvationRow]:
+    """E4 with every size's two solves stacked into one batched water-fill.
+
+    All macro-switch and Lemma 4.6 allocations across the sweep become
+    one block-diagonal batch (2·|sizes| scenarios), solved in floats by
+    :func:`repro.core.batched.solve_max_min_batch`; rate-table and
+    prediction checks compare with a 1e-9 relative tolerance instead of
+    the exact path's ``==``, and certification uses the same tolerance.
+    """
+    from repro.core.batched import solve_max_min_batch
+    from repro.core.routing import Routing
+
+    instances = [theorem_4_3(n) for n in sizes]
+    pairs = []
+    for instance in instances:
+        macro_routing = Routing.for_macro_switch(
+            instance.macro, instance.flows
+        )
+        pairs.append((macro_routing, instance.macro.graph.capacities()))
+        pairs.append(
+            (lemma_4_6_routing(instance), instance.clos.graph.capacities())
+        )
+    allocations = solve_max_min_batch(pairs, jobs=jobs)
+
+    rows: List[StarvationRow] = []
+    for index, (n, instance) in enumerate(zip(sizes, instances)):
+        prediction = predict(n)
+        macro = allocations[2 * index]
+        alloc = allocations[2 * index + 1]
+        routing = pairs[2 * index + 1][0]
+        capacities = pairs[2 * index + 1][1]
+
+        rates_match = True
+        for type_name in ("type1", "type2", "type3"):
+            for flow in instance.types[type_name]:
+                if not _rate_close(
+                    macro.rate(flow), prediction.macro_rates[type_name]
+                ):
+                    rates_match = False
+                if not _rate_close(
+                    alloc.rate(flow), prediction.lex_max_min_rates[type_name]
+                ):
+                    rates_match = False
+
+        certified = (
+            certify_max_min_fair(routing, alloc, capacities, tol=1e-9) is None
+            if certify
+            else True
+        )
+        locally_optimal = (
+            is_local_optimum(instance.clos, routing, objective="lex")
+            if check_local_optimality
+            else True
+        )
+        (type3,) = instance.types["type3"]
+        rows.append(
+            StarvationRow(
+                n=n,
+                macro_type3_rate=macro.rate(type3),
+                lex_type3_rate=alloc.rate(type3),
+                starvation_factor=alloc.rate(type3) / macro.rate(type3),
+                predicted_factor=prediction.starvation_factor,
+                bottleneck_certified=certified,
+                locally_optimal=locally_optimal,
+                per_type_rates_match=rates_match,
+            )
+        )
+    return rows
+
+
 def starvation_sweep(
     sizes: Sequence[int] = (3, 4, 5, 6),
     check_local_optimality: bool = True,
@@ -162,11 +245,20 @@ def starvation_sweep(
 
     Pass ``backend="quotient"`` (typically with
     ``check_local_optimality=False``) to run the exact sweep at n ≥ 64
-    via symmetry reduction.  ``jobs > 1`` computes sizes in worker
-    processes; with ``REPRO_OBS=1`` the workers' solver counters and
-    spans are shipped back and merged, so traced parallel sweeps report
-    the same totals as sequential ones (see :mod:`repro.obs.pipeline`).
+    via symmetry reduction, or ``backend="batched"`` to stack every
+    size's solves into one block-diagonal float batch (fastest for wide
+    sweeps of moderate sizes; rate checks then use a 1e-9 relative
+    tolerance — see :func:`_starvation_rows_batched`).  ``jobs > 1``
+    computes sizes in worker processes (for ``"batched"``: splits the
+    batch over shared memory); with ``REPRO_OBS=1`` the workers' solver
+    counters and spans are shipped back and merged, so traced parallel
+    sweeps report the same totals as sequential ones (see
+    :mod:`repro.obs.pipeline`).
     """
+    if backend == "batched":
+        return _starvation_rows_batched(
+            sizes, check_local_optimality, certify, jobs
+        )
     point = functools.partial(
         _starvation_point,
         check_local_optimality=check_local_optimality,

@@ -21,6 +21,13 @@ Design rules the experiment refactors follow:
 - Randomized tasks carry their seed *in the task description*
   (:func:`derive_seed` derives stable per-task seeds from a base seed),
   never in shared mutable state.
+- Bulk array payloads never cross the pipe: callers that share large
+  NumPy arrays with workers pack them once into a
+  :class:`multiprocessing.shared_memory` block via
+  :func:`shared_arrays`; workers attach zero-copy through
+  :func:`shared_array` and only small index tasks are pickled.  An
+  explicit ``chunksize`` batches thousands of sub-millisecond tasks per
+  pickle round-trip (default: about four chunks per worker).
 
 When observability is on (``REPRO_OBS=1``), worker instrumentation is
 *not* lost: each worker runs its task under a fresh obs session and
@@ -28,38 +35,224 @@ ships a :class:`repro.obs.pipeline.TelemetryPayload` (metrics state,
 span forest, peak memory) back with its result, and the parent merges
 and absorbs all payloads — so counter totals from a ``--jobs N`` run
 match the sequential run exactly, and worker spans appear under
-synthetic ``worker:<i>`` roots in traces.  With observability off the
-shipping layer is skipped entirely and workers return bare results,
-byte-identical to before.
+synthetic ``worker:<i>`` roots in traces.  If a task raises, telemetry
+from the tasks that *did* complete is still absorbed before the
+exception propagates, and the number of lost payloads is counted on
+``obs.workers_failed``.  With observability off the shipping layer is
+skipped entirely and workers return bare results, byte-identical to
+before.
 """
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import hashlib
 import os
+import re
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    TypeVar,
+)
 
 _Task = TypeVar("_Task")
 _Result = TypeVar("_Result")
 
-__all__ = ["derive_seed", "parallel_map", "resolve_jobs"]
+#: ``repr`` fragment of objects without a stable value representation
+#: (``<object object at 0x7f...>``) — such components make seeds
+#: irreproducible across runs, so :func:`derive_seed` rejects them.
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+__all__ = [
+    "SharedArrays",
+    "derive_seed",
+    "parallel_map",
+    "resolve_jobs",
+    "shared_array",
+    "shared_arrays",
+]
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores"."""
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean "all cores".
+
+    Negative values are rejected *before* the all-cores short-circuit so
+    a bad value from a config file fails loudly with the real contract
+    in the message, instead of silently resolving.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(
+            "jobs must be a non-negative integer "
+            f"(0 or None = all cores), got {jobs}"
+        )
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
-    if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array transport
+# ----------------------------------------------------------------------
+class SharedArrays:
+    """Named NumPy arrays packed into one shared-memory block.
+
+    The parent packs its arrays once (:func:`shared_arrays`); the pool
+    initializer attaches every worker to the same block, and workers
+    read (or write disjoint slices of) the arrays zero-copy via
+    :func:`shared_array`.  Only the block *name* and a small layout spec
+    cross the process boundary — never the array bytes.
+
+    Layout: each array is copied to a 16-byte-aligned offset of a
+    single :class:`multiprocessing.shared_memory.SharedMemory` segment;
+    the spec is ``[(name, dtype_str, shape, offset), ...]``.  The owner
+    must :meth:`close` (parent: also unlinks); views are dropped first
+    so the exported buffer releases cleanly.
+    """
+
+    _ALIGN = 16
+
+    def __init__(self, shm, spec, owner: bool) -> None:
+        self._shm = shm
+        self._spec = list(spec)
+        self._owner = owner
+        self._views: Dict[str, object] = {}
+
+    @classmethod
+    def pack(cls, arrays: Mapping[str, object]) -> "SharedArrays":
+        """Copy ``arrays`` into a fresh shared-memory block (parent)."""
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        prepared = {
+            name: np.ascontiguousarray(array)
+            for name, array in arrays.items()
+        }
+        spec = []
+        offset = 0
+        for name, array in prepared.items():
+            offset = -(-offset // cls._ALIGN) * cls._ALIGN
+            spec.append((name, array.dtype.str, array.shape, offset))
+            offset += array.nbytes
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        block = cls(shm, spec, owner=True)
+        for name, array in prepared.items():
+            block[name][...] = array
+        return block
+
+    @classmethod
+    def attach(cls, descriptor) -> "SharedArrays":
+        """Attach to an existing block from its :meth:`descriptor`."""
+        from multiprocessing import shared_memory
+
+        shm_name, spec = descriptor
+        shm = shared_memory.SharedMemory(name=shm_name)
+        return cls(shm, spec, owner=False)
+
+    def descriptor(self):
+        """The picklable ``(block_name, layout_spec)`` handle."""
+        return (self._shm.name, self._spec)
+
+    def __getitem__(self, name: str):
+        view = self._views.get(name)
+        if view is None:
+            import numpy as np
+
+            for spec_name, dtype, shape, offset in self._spec:
+                if spec_name == name:
+                    view = np.ndarray(
+                        shape, dtype=np.dtype(dtype),
+                        buffer=self._shm.buf, offset=offset,
+                    )
+                    self._views[name] = view
+                    break
+            else:
+                raise KeyError(name)
+        return view
+
+    def names(self) -> List[str]:
+        return [name for name, _, _, _ in self._spec]
+
+    def close(self) -> None:
+        """Drop views and release the segment (owner also unlinks)."""
+        self._views.clear()
+        with contextlib.suppress(BufferError):
+            self._shm.close()
+        if self._owner:
+            with contextlib.suppress(FileNotFoundError):
+                self._shm.unlink()
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def shared_arrays(arrays: Mapping[str, object]) -> SharedArrays:
+    """Pack named arrays for zero-copy sharing with pool workers.
+
+    Use as a context manager; pass the block to
+    ``parallel_map(..., shared=block)`` so workers can fetch the arrays
+    with :func:`shared_array`.
+    """
+    return SharedArrays.pack(arrays)
+
+
+#: Worker-side attachment, installed by the pool initializer (or by the
+#: sequential fallback, which points it at the parent's own block).
+_ATTACHED: Optional[SharedArrays] = None
+
+
+def _attach_shared(descriptor) -> None:
+    """Pool initializer: attach this worker to the parent's block."""
+    global _ATTACHED
+    _ATTACHED = SharedArrays.attach(descriptor)
+
+
+def shared_array(name: str):
+    """The named array from the block the current process is attached to.
+
+    Valid inside tasks dispatched by ``parallel_map(..., shared=block)``
+    — in workers (zero-copy shared-memory view) and under the
+    sequential ``jobs=1`` fallback (the parent's own view) alike.
+    """
+    if _ATTACHED is None:
+        raise RuntimeError(
+            "no shared-memory block attached; pass shared= to parallel_map"
+        )
+    return _ATTACHED[name]
+
+
+@contextlib.contextmanager
+def _parent_attached(block: SharedArrays):
+    """Route ``shared_array`` to the parent's block for sequential runs."""
+    global _ATTACHED
+    previous = _ATTACHED
+    _ATTACHED = block
+    try:
+        yield
+    finally:
+        _ATTACHED = previous
+
+
+def _default_chunksize(n_tasks: int, workers: int) -> int:
+    """About four chunks per worker: amortizes per-task pickle dispatch
+    while keeping enough chunks to absorb uneven task durations."""
+    return max(1, n_tasks // (workers * 4))
 
 
 def parallel_map(
     fn: Callable[[_Task], _Result],
     tasks: Iterable[_Task],
     jobs: int = 1,
+    chunksize: Optional[int] = None,
+    shared: Optional[SharedArrays] = None,
 ) -> List[_Result]:
     """``[fn(t) for t in tasks]``, optionally across processes.
 
@@ -67,39 +260,74 @@ def parallel_map(
     sequential list comprehension, run in-process.  Otherwise ``fn`` must
     be picklable (module-level, or a ``functools.partial`` of one) and
     the tasks are distributed over ``min(jobs, len(tasks))`` worker
-    processes.  Results are returned in task order either way; a worker
-    exception propagates to the caller.
+    processes, ``chunksize`` tasks per dispatch (default: about four
+    chunks per worker).  Results are returned in task order either way;
+    a worker exception propagates to the caller.
+
+    ``shared`` attaches every worker to a :func:`shared_arrays` block
+    before any task runs, so tasks can read large arrays zero-copy via
+    :func:`shared_array` instead of pickling them.  The sequential
+    fallback attaches the calling process to the same block, so
+    ``jobs=1`` results stay identical.
 
     When observability is enabled, multi-process runs wrap each task in
     :func:`repro.obs.pipeline.run_with_telemetry`: workers ship their
     instrumentation home with each result, and the merged telemetry is
     absorbed into this process's registry and tracer before returning.
+    If a task raises, payloads from tasks that completed are still
+    absorbed (the loss is counted on ``obs.workers_failed``) before the
+    first exception, in task order, is re-raised.
     """
     task_list = list(tasks)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(task_list) <= 1:
+        if shared is not None:
+            with _parent_attached(shared):
+                return [fn(task) for task in task_list]
         return [fn(task) for task in task_list]
 
     from repro.obs.state import STATE
 
     workers = min(jobs, len(task_list))
-    if not STATE.enabled:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, task_list))
+    if chunksize is None:
+        chunksize = _default_chunksize(len(task_list), workers)
+    pool_kwargs = {"max_workers": workers}
+    if shared is not None:
+        pool_kwargs["initializer"] = _attach_shared
+        pool_kwargs["initargs"] = (shared.descriptor(),)
 
-    from repro.obs import pipeline
+    if not STATE.enabled:
+        with ProcessPoolExecutor(**pool_kwargs) as pool:
+            return list(pool.map(fn, task_list, chunksize=chunksize))
+
+    from repro.obs import counter, pipeline
 
     call = functools.partial(
         pipeline.run_with_telemetry, fn, pipeline.worker_config()
     )
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        shipped = list(pool.map(call, task_list))
-    results = [result for result, _ in shipped]
-    payloads = [
-        pipeline.TelemetryPayload.from_dict(document)
-        for _, document in shipped
-    ]
-    pipeline.merge_payloads(payloads).absorb()
+    # Per-future collection (not pool.map): an exception in one task
+    # must not discard the telemetry the other workers already shipped.
+    results: List[_Result] = []
+    payloads = []
+    first_error: Optional[BaseException] = None
+    failed = 0
+    with ProcessPoolExecutor(**pool_kwargs) as pool:
+        futures = [pool.submit(call, task) for task in task_list]
+        for future in futures:
+            try:
+                result, document = future.result()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failed += 1
+                if first_error is None:
+                    first_error = exc
+                continue
+            results.append(result)
+            payloads.append(pipeline.TelemetryPayload.from_dict(document))
+    if payloads:
+        pipeline.merge_payloads(payloads).absorb()
+    if first_error is not None:
+        counter("obs.workers_failed").inc(failed)
+        raise first_error
     return results
 
 
@@ -109,11 +337,21 @@ def derive_seed(base: int, *components) -> int:
     Hashes ``(base, components)`` with SHA-256, so per-task seeds are
     reproducible across runs, machines, and worker assignments, and
     changing the base seed or any component decorrelates the stream.
+    Components whose ``repr`` embeds a memory address (objects without
+    a value ``repr``) are rejected — such seeds would differ on every
+    run, silently breaking reproducibility.
 
     >>> derive_seed(0, "uniform", 3) == derive_seed(0, "uniform", 3)
     True
     >>> derive_seed(0, "uniform", 3) != derive_seed(1, "uniform", 3)
     True
     """
-    payload = repr((base, components)).encode("utf-8")
-    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+    payload = repr((base, components))
+    if _ADDRESS_RE.search(payload):
+        raise ValueError(
+            "derive_seed components must have value-based reprs; "
+            f"got a memory-address repr in {payload!r}"
+        )
+    return int.from_bytes(
+        hashlib.sha256(payload.encode("utf-8")).digest()[:8], "big"
+    )

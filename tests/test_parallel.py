@@ -13,7 +13,14 @@ import json
 
 import pytest
 
-from repro.parallel import derive_seed, parallel_map, resolve_jobs
+from repro.parallel import (
+    SharedArrays,
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+    shared_array,
+    shared_arrays,
+)
 
 
 # ----------------------------------------------------------------------
@@ -40,6 +47,15 @@ def test_parallel_map_empty_and_single():
     assert parallel_map(_square, [5], jobs=4) == [25]
 
 
+def test_parallel_map_explicit_chunksize_preserves_order():
+    assert parallel_map(_square, range(11), jobs=3, chunksize=4) == [
+        x * x for x in range(11)
+    ]
+    assert parallel_map(_square, range(11), jobs=3, chunksize=1) == [
+        x * x for x in range(11)
+    ]
+
+
 def test_resolve_jobs():
     assert resolve_jobs(1) == 1
     assert resolve_jobs(7) == 7
@@ -49,11 +65,147 @@ def test_resolve_jobs():
         resolve_jobs(-2)
 
 
+def test_resolve_jobs_rejects_negatives_with_the_real_contract():
+    """Regression: the message used to claim "jobs must be >= 0" while
+    0 actually means "all cores" — the error now states the contract."""
+    with pytest.raises(
+        ValueError,
+        match=r"non-negative integer \(0 or None = all cores\), got -2",
+    ):
+        resolve_jobs(-2)
+
+
 def test_derive_seed_is_deterministic_and_decorrelated():
     assert derive_seed(0, "uniform", 3) == derive_seed(0, "uniform", 3)
     assert derive_seed(0, "uniform", 3) != derive_seed(1, "uniform", 3)
     assert derive_seed(0, "uniform", 3) != derive_seed(0, "hotspot", 3)
     assert 0 <= derive_seed(42, "x") < 2**64
+
+
+def test_derive_seed_rejects_memory_address_reprs():
+    """Components without a value ``repr`` (``<object at 0x...>``) would
+    make the "stable" seed differ on every run; they must fail loudly."""
+    with pytest.raises(ValueError, match="memory-address repr"):
+        derive_seed(0, object())
+    with pytest.raises(ValueError, match="memory-address repr"):
+        derive_seed(0, "uniform", 3, object())
+    # value-based reprs of the same shapes still work
+    assert derive_seed(0, "uniform", (3, 4)) == derive_seed(0, "uniform", (3, 4))
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array transport
+# ----------------------------------------------------------------------
+def _sum_shared_row(i: int) -> float:
+    """Module-level (picklable) task: read one row of the shared matrix."""
+    return float(shared_array("matrix")[i].sum())
+
+
+def _double_into_shared(i: int) -> int:
+    """Module-level task: write a disjoint slice of a shared output."""
+    shared_array("out")[i] = 2.0 * shared_array("data")[i]
+    return i
+
+
+def test_shared_arrays_round_trip_and_zero_copy():
+    np = pytest.importorskip("numpy")
+    arrays = {
+        "ints": np.arange(7, dtype=np.int64),
+        "floats": np.linspace(0.0, 1.0, 5),
+        "matrix": np.arange(6, dtype=np.float64).reshape(2, 3),
+    }
+    with shared_arrays(arrays) as block:
+        assert block.names() == ["ints", "floats", "matrix"]
+        attached = SharedArrays.attach(block.descriptor())
+        try:
+            for name, array in arrays.items():
+                view = attached[name]
+                assert view.dtype == array.dtype
+                assert view.shape == array.shape
+                assert np.array_equal(view, array)
+            # both handles alias the same block: a write through the
+            # attached view is visible to the owner with no transport
+            attached["floats"][0] = 42.0
+            assert block["floats"][0] == 42.0
+        finally:
+            attached.close()
+        with pytest.raises(KeyError):
+            block["missing"]
+
+
+def test_shared_array_requires_attachment():
+    with pytest.raises(RuntimeError, match="no shared-memory block attached"):
+        shared_array("anything")
+
+
+def test_parallel_map_shared_results_identical_across_jobs():
+    np = pytest.importorskip("numpy")
+    matrix = np.arange(20, dtype=np.float64).reshape(4, 5)
+    expected = [float(matrix[i].sum()) for i in range(4)]
+    with shared_arrays({"matrix": matrix}) as block:
+        sequential = parallel_map(_sum_shared_row, range(4), jobs=1, shared=block)
+        parallel = parallel_map(_sum_shared_row, range(4), jobs=2, shared=block)
+    assert sequential == expected
+    assert parallel == expected
+
+
+def test_parallel_map_shared_workers_write_disjoint_slices():
+    np = pytest.importorskip("numpy")
+    data = np.arange(6, dtype=np.float64)
+    with shared_arrays({"data": data, "out": np.zeros(6)}) as block:
+        parallel_map(
+            _double_into_shared, range(6), jobs=2, chunksize=2, shared=block
+        )
+        written = block["out"].copy()
+    assert np.array_equal(written, 2.0 * data)
+
+
+# ----------------------------------------------------------------------
+# Worker-exception telemetry salvage
+# ----------------------------------------------------------------------
+@pytest.fixture
+def observing():
+    """Observability on for the test, fully reset around it."""
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+def _bump_or_explode(x: int) -> int:
+    """Module-level task: instrument, then fail on marked inputs."""
+    from repro import obs
+
+    obs.counter("test.parallel.completed").inc()
+    if x < 0:
+        raise RuntimeError(f"task {x} exploded")
+    return x * x
+
+
+def test_worker_exception_still_salvages_completed_telemetry(observing):
+    """Regression: a raising task used to discard *all* worker telemetry
+    (the obs path went through ``pool.map``).  Completed tasks' payloads
+    must be absorbed before the exception propagates, and the lost
+    payloads counted on ``obs.workers_failed``."""
+    from repro import obs
+
+    with pytest.raises(RuntimeError, match="task -1 exploded"):
+        parallel_map(_bump_or_explode, [1, 2, -1, 3, 4, 5], jobs=2)
+    # the five tasks that completed shipped their counters home
+    assert obs.counter("test.parallel.completed").value == 5
+    assert obs.counter("obs.workers_failed").value == 1
+
+
+def test_worker_exception_raises_first_in_task_order(observing):
+    from repro import obs
+
+    with pytest.raises(RuntimeError, match="task -7 exploded"):
+        parallel_map(_bump_or_explode, [1, -7, 2, -9, 3], jobs=2)
+    assert obs.counter("test.parallel.completed").value == 3
+    assert obs.counter("obs.workers_failed").value == 2
 
 
 # ----------------------------------------------------------------------

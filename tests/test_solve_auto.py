@@ -209,6 +209,46 @@ class TestShadowChecks:
                 routing, capacities, backend="auto", exact=False
             )
 
+    def test_shadow_sequence_decorrelates_across_forked_workers(
+        self, monkeypatch
+    ):
+        """Regression: the auto-solve ordinal stream is pid-salted.
+
+        A bare ``itertools.count(1)`` is inherited at fork, so every
+        worker of a ``--jobs N`` sweep shadow-checked the *same* solve
+        ordinals.  The sequence must restart from a pid-derived salt in
+        each new process, making the workers' sampled ordinals diverge.
+        """
+        from repro.core import solve as solve_module
+
+        def consume(pid, n=64):
+            monkeypatch.setattr(solve_module.os, "getpid", lambda: pid)
+            seq = solve_module._ProcessSeq()
+            return [next(seq) for _ in range(n)]
+
+        a, b = consume(1111), consume(2222)
+        # Each process's stream is still consecutive (monotone coverage)
+        assert a == list(range(a[0], a[0] + 64))
+        assert b == list(range(b[0], b[0] + 64))
+        # ...but starts at a pid-specific salt, so with any sampling
+        # interval the two workers check different ordinal positions.
+        assert a[0] != b[0]
+        assert a[0] == 1 + solve_module._ProcessSeq._salt(1111)
+        # the *positions within the stream* a sampling interval selects
+        # differ between the two workers
+        interval = 7
+        assert {x % interval for x in a[:interval]} == set(range(interval))
+        assert (a[0] - b[0]) % interval != 0
+
+        # A fork mid-stream (same object, new pid) re-seeds too.
+        monkeypatch.setattr(solve_module.os, "getpid", lambda: 3333)
+        seq = solve_module._ProcessSeq()
+        first = next(seq)
+        monkeypatch.setattr(solve_module.os, "getpid", lambda: 4444)
+        child_first = next(seq)
+        assert child_first == 1 + solve_module._ProcessSeq._salt(4444)
+        assert child_first != first + 1
+
 
 class TestDdmin:
     def test_shrinks_to_single_culprit(self):
