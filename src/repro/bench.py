@@ -257,13 +257,71 @@ def scenario_batched_sweep_perinstance() -> None:
         waterfill(compiled, caps_vector)
 
 
-def scenario_flowsim_churn_batched() -> None:
-    """The streaming allocation service: the same sequence absorbed in
-    4096-event batches by one incremental solver."""
-    from repro.experiments.churn import absorb_churn
+def _des_workload(key: str, **kwargs):
+    """A cached churn workload for the end-to-end DES scenarios."""
+    if key not in _SOLVER_CACHE:
+        from repro.workloads.stochastic import churn_workload
 
-    caps, events = _churn_sequence()
-    absorb_churn(caps, events, batch=4096)
+        n = kwargs.pop("n")
+        clos = ClosNetwork(n)
+        _SOLVER_CACHE[key] = (clos, churn_workload(clos, **kwargs))
+    return _SOLVER_CACHE[key]
+
+
+def _count_flow_events(jobs, result) -> None:
+    from repro.obs import counter
+
+    counter("bench.flowsim.events").inc(len(jobs) + len(result.completed))
+
+
+def scenario_flowsim_churn_batched() -> None:
+    """The tentpole: the *end-to-end* discrete-event simulator — Poisson
+    arrivals through completion, micro-batched consults — on the array
+    engine.  ~5k jobs / ~10k flow events on ``Clos(8)``; events/sec is
+    ``bench.flowsim.events`` over wall.  (Before PR 10 this scenario
+    timed the allocation service alone; the recorded baseline is the
+    bar the full simulator now has to clear at ≥3×.)"""
+    from repro.sim.policies import MaxMinCongestionControl
+    from repro.sim.stream import simulate_stream
+
+    clos, jobs = _des_workload(
+        "des", n=8, rate=10000.0, horizon=0.5, mean_size=0.001, seed=0
+    )
+    policy = MaxMinCongestionControl(clos, backend="streaming")
+    result = simulate_stream(jobs, policy, batch_window=0.02, engine="array")
+    _count_flow_events(jobs, result)
+
+
+def scenario_flowsim_array_engine() -> None:
+    """The per-event loop (one solver consult per flow event) on the
+    array engine — gates ``simulate(engine="array")`` itself, the
+    configuration the ``auto`` selector picks for large workloads."""
+    from repro.sim.flowsim import simulate
+    from repro.sim.policies import MaxMinCongestionControl
+
+    clos, jobs = _des_workload(
+        "des_perevent", n=4, rate=250.0, horizon=1.0, mean_size=0.01, seed=0
+    )
+    policy = MaxMinCongestionControl(clos, backend="streaming")
+    result = simulate(jobs, policy, engine="array")
+    _count_flow_events(jobs, result)
+
+
+def scenario_flowsim_sharded_parallel() -> None:
+    """The same end-to-end loop pod-sharded across 4 worker processes
+    (``simulate_sharded(jobs=4)`` over shared memory) — wall includes
+    worker spawn, so this gates the parallel dispatch path, not just
+    the kernel."""
+    from repro.sim.stream import simulate_sharded
+
+    clos, workload = _des_workload(
+        "des_pods", n=8, rate=10000.0, horizon=0.5, mean_size=0.001,
+        pods=8, seed=0,
+    )
+    result = simulate_sharded(
+        clos, workload, pods=8, batch_window=0.02, engine="array", jobs=4
+    )
+    _count_flow_events(workload, result)
 
 
 SCENARIOS: Dict[str, Callable[[], None]] = {
@@ -287,6 +345,8 @@ else:
     SCENARIOS["vectorized_waterfill"] = scenario_vectorized_waterfill
     SCENARIOS["flowsim_churn_event"] = scenario_flowsim_churn_event
     SCENARIOS["flowsim_churn_batched"] = scenario_flowsim_churn_batched
+    SCENARIOS["flowsim_array_engine"] = scenario_flowsim_array_engine
+    SCENARIOS["flowsim_sharded_parallel"] = scenario_flowsim_sharded_parallel
     SCENARIOS["batched_sweep"] = scenario_batched_sweep
     SCENARIOS["batched_sweep_perinstance"] = scenario_batched_sweep_perinstance
 
@@ -424,13 +484,22 @@ def diff_attribution(
 
     ``{"scenario", "baseline_s", "current_s", "delta_s", "delta_pct",
     "spans": [{"span", "baseline_self_s", "current_self_s",
-    "delta_self_s", "share"}, ...]}``
+    "delta_self_s", "share"}, ...], "only_baseline": [...],
+    "only_current": [...]}``
 
-    Span rows are sorted by absolute self-time delta, largest first;
-    ``share`` is the fraction of the scenario's wall delta the span
-    accounts for (``None`` when the wall delta is zero).  Scenarios
-    without span breakdowns on both sides (pre-pipeline baselines) get
-    an empty span list rather than an error.
+    Span rows cover only spans present **on both sides** — when the two
+    documents ran different engines (an ``--engine`` A/B, or a scenario
+    redefined across PRs) their span trees differ, and attributing a
+    span that simply *appeared* or *vanished* as if it moved from 0s
+    would mis-state where the delta came from.  One-sided spans are
+    listed separately in ``only_baseline`` / ``only_current`` (each
+    ``{"span", "self_s"}``, sorted by self time, largest first).
+
+    Shared-span rows are sorted by absolute self-time delta, largest
+    first; ``share`` is the fraction of the scenario's wall delta the
+    span accounts for (``None`` when the wall delta is zero).
+    Scenarios without span breakdowns on both sides (pre-pipeline
+    baselines) get empty lists rather than an error.
     """
     base = baseline.get("scenarios", {})
     curr = current.get("scenarios", {})
@@ -444,11 +513,9 @@ def diff_attribution(
         base_spans = base[name].get("spans", {})
         curr_spans = curr[name].get("spans", {})
         span_rows: List[Dict[str, Any]] = []
-        for span in list(base_spans) + [
-            s for s in curr_spans if s not in base_spans
-        ]:
-            base_self = base_spans.get(span, {}).get("self_s", 0.0)
-            curr_self = curr_spans.get(span, {}).get("self_s", 0.0)
+        for span in [s for s in base_spans if s in curr_spans]:
+            base_self = base_spans[span].get("self_s", 0.0)
+            curr_self = curr_spans[span].get("self_s", 0.0)
             span_delta = curr_self - base_self
             span_rows.append(
                 {
@@ -460,6 +527,16 @@ def diff_attribution(
                 }
             )
         span_rows.sort(key=lambda row: -abs(row["delta_self_s"]))
+
+        def _one_sided(spans, other):
+            only = [
+                {"span": s, "self_s": entry.get("self_s", 0.0)}
+                for s, entry in spans.items()
+                if s not in other
+            ]
+            only.sort(key=lambda row: -row["self_s"])
+            return only
+
         rows.append(
             {
                 "scenario": name,
@@ -468,6 +545,8 @@ def diff_attribution(
                 "delta_s": round(delta, 6),
                 "delta_pct": delta / base_median,
                 "spans": span_rows,
+                "only_baseline": _one_sided(base_spans, curr_spans),
+                "only_current": _one_sided(curr_spans, base_spans),
             }
         )
     rows.sort(key=lambda row: -abs(row["delta_pct"]))
@@ -497,7 +576,10 @@ def format_attribution(
             f"{row['current_s']:.4f}s ({pct:+.1f}%, {direction})"
         )
         movers = [r for r in row["spans"][:top] if r["delta_self_s"]]
-        if not movers:
+        one_sided = row.get("only_baseline", []) or row.get(
+            "only_current", []
+        )
+        if not movers and not one_sided:
             lines.append("  (no span breakdown on both sides)")
         for mover in movers:
             share = mover["share"]
@@ -507,6 +589,15 @@ def format_attribution(
                 f"{mover['current_self_s']:.4f}s self "
                 f"({mover['delta_self_s']:+.4f}s, {share_text})"
             )
+        for side, label in (
+            ("only_baseline", "baseline only"),
+            ("only_current", "current only"),
+        ):
+            for entry in row.get(side, [])[:top]:
+                lines.append(
+                    f"  {entry['span']}: {entry['self_s']:.4f}s self "
+                    f"({label} — not attributed)"
+                )
     if quiet:
         lines.append(
             f"{quiet} scenario(s) within {threshold:.0%} of baseline"

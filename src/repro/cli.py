@@ -421,6 +421,8 @@ def run_churn(args: argparse.Namespace) -> None:
         horizon=getattr(args, "horizon", None) or 1.5,
         batch_window=getattr(args, "window", None) or 0.05,
         pods=getattr(args, "pods", None) or 1,
+        engine=getattr(args, "engine", None) or "auto",
+        jobs=getattr(args, "jobs", None) or 1,
     )
     print(
         format_table(
@@ -603,6 +605,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--pods",
         type=int,
         help="shard the churn workload into this many independent pods",
+    )
+    run.add_argument(
+        "--engine",
+        choices=["auto", "object", "array"],
+        default="auto",
+        help="simulator event-loop implementation (churn): 'array' = "
+        "NumPy slot-store fast core, 'object' = per-job dict loop, "
+        "'auto' = array for large workloads (identical results either "
+        "way; REPRO_SHADOW cross-checks sampled array runs)",
     )
     run.add_argument(
         "--backend",

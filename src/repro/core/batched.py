@@ -146,14 +146,20 @@ def compile_batch(
     the CSR arrays are concatenated with per-scenario offsets into one
     block-diagonal incidence.
     """
-    np = _require_numpy()
     parts: List[CompiledRouting] = []
     caps_vectors = []
     for routing, capacities in instances:
         compiled = compile_routing(routing, capacities)
         parts.append(compiled)
         caps_vectors.append(capacity_vector(compiled, capacities))
+    return _stack_parts(parts, caps_vectors)
 
+
+def _stack_parts(
+    parts: List[CompiledRouting], caps_vectors: List[Any]
+) -> CompiledBatch:
+    """Stack already-compiled scenarios into one block-diagonal batch."""
+    np = _require_numpy()
     S = len(parts)
     flow_counts = np.asarray([len(p.flows) for p in parts], dtype=np.int64)
     link_counts = np.asarray([len(p.links) for p in parts], dtype=np.int64)
@@ -196,6 +202,29 @@ def compile_batch(
     }
     _SCENARIOS.inc(S)
     return CompiledBatch(parts, arrays)
+
+
+def _round_estimates(parts: List[CompiledRouting], caps_vectors) -> List[int]:
+    """Estimated water-filling round count per scenario.
+
+    Each round freezes every link sitting at the current water level, so
+    the number of rounds a scenario takes is at most — and in practice
+    close to — its number of *distinct initial fill levels*
+    ``capacity / degree`` over links with at least one flow.  The
+    estimate only drives scheduling (:func:`solve_max_min_batch`'s
+    ``sub_batches=`` ordering); it never touches the arithmetic.
+    """
+    np = _require_numpy()
+    estimates: List[int] = []
+    for compiled, caps in zip(parts, caps_vectors):
+        degree = np.diff(np.asarray(compiled.link_ptr, dtype=np.int64))
+        loaded = degree > 0
+        if not loaded.any():
+            estimates.append(0)
+            continue
+        levels = np.asarray(caps, dtype=np.float64)[loaded] / degree[loaded]
+        estimates.append(int(np.unique(levels).size))
+    return estimates
 
 
 def waterfill_batch(batch: CompiledBatch, first: int = 0, last=None, out=None):
@@ -386,25 +415,39 @@ def _solve_shared_chunk(task: Tuple[int, int]) -> int:
     return last - first
 
 
+def _sub_batch_ranges(S: int, sub_batches: int) -> List[Tuple[int, int]]:
+    """Split ``S`` scenarios into ``sub_batches`` contiguous near-equal
+    ranges (fewer when ``S < sub_batches``)."""
+    k = max(1, min(sub_batches, S))
+    bounds = [round(S * i / k) for i in range(k + 1)]
+    return [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+
 def _batch_rates_parallel(
-    batch: CompiledBatch, jobs: int, chunksize: Optional[int]
+    batch: CompiledBatch,
+    jobs: int,
+    chunksize: Optional[int],
+    tasks: Optional[List[Tuple[int, int]]] = None,
 ):
     """Solve the whole batch across worker processes, zero-copy.
 
     The parent compiled once; workers attach to the shared block and
     write disjoint slices of the shared ``rates`` array, so results
     need no transport at all.  Scenario ranges are contiguous — a
-    range of a block-diagonal batch is itself a valid batch.
+    range of a block-diagonal batch is itself a valid batch.  ``tasks``
+    overrides the default even chunking (the ``sub_batches=`` path
+    passes its round-sorted ranges directly).
     """
     np = _require_numpy()
     from repro import parallel
 
     S = batch.num_scenarios
-    if chunksize is None:
-        # A few chunks per worker evens out uneven scenario sizes
-        # without drowning in per-task dispatch.
-        chunksize = max(1, -(-S // (jobs * 4)))
-    tasks = [(a, min(a + chunksize, S)) for a in range(0, S, chunksize)]
+    if tasks is None:
+        if chunksize is None:
+            # A few chunks per worker evens out uneven scenario sizes
+            # without drowning in per-task dispatch.
+            chunksize = max(1, -(-S // (jobs * 4)))
+        tasks = [(a, min(a + chunksize, S)) for a in range(0, S, chunksize)]
     arrays = dict(batch.as_arrays())
     arrays["rates"] = np.zeros(batch.num_flows, dtype=np.float64)
     with parallel.shared_arrays(arrays) as block:
@@ -423,6 +466,7 @@ def solve_max_min_batch(
     exact: Optional[bool] = None,
     jobs: int = 1,
     chunksize: Optional[int] = None,
+    sub_batches: int = 1,
 ) -> List[Allocation]:
     """Max-min fair allocations for N independent instances at once.
 
@@ -435,6 +479,14 @@ def solve_max_min_batch(
       ``jobs > 1`` splits the batch across worker processes over
       shared memory (``chunksize`` scenarios per task); results stay
       byte-identical to ``jobs=1``.
+    - ``sub_batches > 1`` orders scenarios by estimated round count
+      (distinct initial link-fill levels, :func:`_round_estimates`) and
+      water-fills that order in ``sub_batches`` contiguous groups, so
+      the whole batch no longer spins empty rounds waiting for the
+      single deepest scenario.  Scenario arithmetic is independent
+      (block-diagonal), so results stay byte-identical to
+      ``sub_batches=1`` — ordering changes wall-clock only.  Composes
+      with ``jobs``: each group becomes one shared-memory task.
     - ``backend="batched"`` with ``exact=True`` dispatches per-instance
       to the exact reference solver (NumPy batching cannot speed up
       ``Fraction`` arithmetic) — same entry point, ``Fraction``-identical
@@ -465,21 +517,43 @@ def solve_max_min_batch(
     if not pairs:
         return []
 
-    batch = compile_batch(pairs)
+    order = list(range(len(pairs)))
+    groups: Optional[List[Tuple[int, int]]] = None
+    if sub_batches and sub_batches > 1 and len(pairs) > 1:
+        parts: List[CompiledRouting] = []
+        caps_vectors = []
+        for routing, capacities in pairs:
+            compiled = compile_routing(routing, capacities)
+            parts.append(compiled)
+            caps_vectors.append(capacity_vector(compiled, capacities))
+        estimates = _round_estimates(parts, caps_vectors)
+        order = sorted(order, key=lambda s: (estimates[s], s))
+        batch = _stack_parts(
+            [parts[s] for s in order], [caps_vectors[s] for s in order]
+        )
+        groups = _sub_batch_ranges(batch.num_scenarios, sub_batches)
+    else:
+        batch = compile_batch(pairs)
+
     if jobs and jobs > 1 and batch.num_scenarios > 1:
-        rates = _batch_rates_parallel(batch, jobs, chunksize)
+        rates = _batch_rates_parallel(batch, jobs, chunksize, tasks=groups)
+    elif groups is not None:
+        np = _require_numpy()
+        rates = np.zeros(batch.num_flows, dtype=np.float64)
+        for first, last in groups:
+            waterfill_batch(batch, first=first, last=last, out=rates)
     else:
         rates = waterfill_batch(batch)
 
     from repro import validate as _validate
 
     full = _validate.validation_level() == "full"
-    allocations: List[Allocation] = []
-    for s, (compiled, (routing, capacities)) in enumerate(
-        zip(batch.parts, pairs)
-    ):
-        lo = int(batch.scn_flow_ptr[s])
-        hi = int(batch.scn_flow_ptr[s + 1])
+    allocations: List[Optional[Allocation]] = [None] * len(pairs)
+    for position, scenario in enumerate(order):
+        compiled = batch.parts[position]
+        routing, capacities = pairs[scenario]
+        lo = int(batch.scn_flow_ptr[position])
+        hi = int(batch.scn_flow_ptr[position + 1])
         allocation = Allocation(
             {
                 flow: float(rate)
@@ -491,5 +565,5 @@ def solve_max_min_batch(
                 routing, capacities, allocation,
                 level="full", context="maxmin.batched",
             )
-        allocations.append(allocation)
+        allocations[scenario] = allocation
     return allocations

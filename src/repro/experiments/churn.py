@@ -64,6 +64,8 @@ def churn_comparison(
     pods: int = 1,
     seed: int = 0,
     configs: Sequence[str] = ("per-event", "streaming", "batched"),
+    engine: str = "auto",
+    jobs: int = 1,
 ) -> List[ChurnRow]:
     """Run the churn workload under each configuration; one row each.
 
@@ -71,10 +73,12 @@ def churn_comparison(
     :class:`~repro.sim.flowsim.SimulationResult`\\ s (asserted here);
     ``batched`` trades bounded rate staleness (≤ ``batch_window``) for
     throughput, and with ``pods > 1`` additionally shards the (then
-    pod-local) workload into independent blocks.
+    pod-local) workload into independent blocks.  ``engine`` selects
+    the simulator event loop (see :func:`repro.sim.flowsim.simulate`)
+    and ``jobs`` the worker-process count for the sharded config.
     """
     network = ClosNetwork(n)
-    jobs = churn_workload(
+    workload = churn_workload(
         network, rate=rate, horizon=horizon, pods=pods, seed=seed
     )
     rows: List[ChurnRow] = []
@@ -84,22 +88,24 @@ def churn_comparison(
         t0 = time.perf_counter()
         if config == "per-event":
             policy = MaxMinCongestionControl(network, backend="vectorized")
-            result = simulate(jobs, policy)
+            result = simulate(workload, policy, engine=engine)
         elif config == "streaming":
             policy = MaxMinCongestionControl(network, backend="streaming")
-            result = simulate(jobs, policy)
+            result = simulate(workload, policy, engine=engine)
         elif config == "batched":
             if pods > 1:
                 result = simulate_sharded(
-                    network, jobs, pods=pods, batch_window=batch_window,
-                    seed=0,
+                    network, workload, pods=pods,
+                    batch_window=batch_window, seed=0, engine=engine,
+                    jobs=jobs,
                 )
             else:
                 policy = MaxMinCongestionControl(
                     network, backend="streaming"
                 )
                 result = simulate_stream(
-                    jobs, policy, batch_window=batch_window
+                    workload, policy, batch_window=batch_window,
+                    engine=engine,
                 )
         else:
             raise ValueError(f"unknown churn config {config!r}")
@@ -112,14 +118,14 @@ def churn_comparison(
                 raise AssertionError(
                     f"{config} diverged from the per-event baseline"
                 )
-        flow_events = len(jobs) + len(result.completed)
+        flow_events = len(workload) + len(result.completed)
         stream = getattr(policy, "_stream", None)
         stats = stream.stats if stream is not None else None
         rows.append(
             ChurnRow(
                 config=config,
                 n=n,
-                jobs=len(jobs),
+                jobs=len(workload),
                 flow_events=flow_events,
                 wall_s=wall_s,
                 events_per_sec=flow_events / wall_s if wall_s > 0 else 0.0,

@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+from typing import Any, Callable, List, NamedTuple, Optional, Set, Tuple
+
+from repro.obs import gauge
+
+#: The largest live event count any queue in this process has reached —
+#: heap growth under churn, visible in ``repro profile``.  Gauges are
+#: no-ops unless ``repro.obs`` is enabled.
+_QUEUE_PEAK = gauge("sim.queue_peak")
 
 
 class Event(NamedTuple):
@@ -32,36 +39,68 @@ class Event(NamedTuple):
 class EventQueue:
     """A stable min-heap of events keyed by time.
 
+    Events may be cancelled by sequence number (:meth:`cancel`); a
+    cancelled event stays in the heap as a tombstone and is dropped
+    lazily the next time it would surface in :meth:`pop` / :meth:`peek`
+    — O(1) cancellation without breaking the heap invariant.  Only
+    still-pending sequences may be cancelled (cancelling an already-
+    popped sequence would skew the live count).
+
     >>> q = EventQueue()
-    >>> q.push(2.0, "b", None)
-    >>> q.push(1.0, "a", None)
-    >>> q.pop().kind
-    'a'
+    >>> seq = q.push(2.0, "b", None)
+    >>> _ = q.push(1.0, "a", None)
+    >>> q.cancel(seq)
+    >>> q.pop().kind, len(q)
+    ('a', 0)
     """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._cancelled: Set[int] = set()
+        self._peak = 0
 
-    def push(self, time: float, kind: str, payload: Any) -> None:
-        """Schedule an event at ``time`` (ties broken by insertion order)."""
+    def push(self, time: float, kind: str, payload: Any) -> int:
+        """Schedule an event at ``time`` (ties broken by insertion
+        order); returns the sequence number, usable with :meth:`cancel`.
+        """
         if time < 0:
             raise ValueError(f"negative event time: {time}")
-        heapq.heappush(self._heap, Event(time, next(self._counter), kind, payload))
+        sequence = next(self._counter)
+        heapq.heappush(self._heap, Event(time, sequence, kind, payload))
+        size = len(self._heap) - len(self._cancelled)
+        if size > self._peak:
+            self._peak = size
+            peak = _QUEUE_PEAK.value
+            if peak is None or size > peak:
+                _QUEUE_PEAK.set(size)
+        return sequence
+
+    def cancel(self, sequence: int) -> None:
+        """Mark a pending event dead; it is dropped lazily on pop/peek."""
+        self._cancelled.add(sequence)
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0].sequence in cancelled:
+            cancelled.discard(heapq.heappop(heap).sequence)
 
     def pop(self) -> Event:
-        """Remove and return the earliest event."""
+        """Remove and return the earliest live event."""
+        self._drop_cancelled()
         return heapq.heappop(self._heap)
 
     def peek(self) -> Optional[Event]:
-        """The earliest event without removing it, or ``None`` if empty."""
+        """The earliest live event without removing it, or ``None``."""
+        self._drop_cancelled()
         return self._heap[0] if self._heap else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - len(self._cancelled)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > len(self._cancelled)
 
 
 def load_failure_schedule(queue: EventQueue, schedule) -> int:

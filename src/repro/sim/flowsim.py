@@ -79,6 +79,7 @@ def simulate(
     max_time: Optional[float] = None,
     max_events: int = 1_000_000,
     failure_schedule=None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run ``jobs`` under ``policy`` until everything finishes.
 
@@ -97,6 +98,16 @@ def simulate(
     :class:`SimulationError` rather than silently simulating a healthy
     fabric.
 
+    ``engine`` selects the event-loop implementation: ``"object"`` is
+    the per-job dict loop below, ``"array"`` the NumPy slot store in
+    :mod:`repro.sim.arraysim` (identical ``completed`` / ``unfinished``
+    / ``end_time``; ``work_done`` within float round-off), ``"auto"``
+    picks the array core for workloads of at least
+    :data:`~repro.sim.arraysim.AUTO_THRESHOLD` jobs when NumPy is
+    available.  Setting ``REPRO_SHADOW`` cross-checks sampled array
+    runs against the object engine and quarantines divergences with
+    reason ``sim-mismatch``.
+
     >>> from repro.core.topology import ClosNetwork
     >>> from repro.sim.policies import MaxMinCongestionControl
     >>> from repro.sim.jobs import FlowJob
@@ -106,9 +117,26 @@ def simulate(
     >>> result.completed[0].duration  # size 2 at rate 1
     2.0
     """
+    from repro.sim import arraysim
+
+    chosen = arraysim.resolve_engine(engine, len(jobs))
     _RUNS.inc()
-    with trace_span("sim.simulate", jobs=len(jobs)) as span:
-        result = _simulate(jobs, policy, max_time, max_events, failure_schedule)
+    with trace_span("sim.simulate", jobs=len(jobs), engine=chosen) as span:
+        if chosen == "array":
+            result = arraysim.with_shadow(
+                lambda: arraysim._simulate_array(
+                    jobs, policy, max_time, max_events, failure_schedule
+                ),
+                lambda ref: _simulate(
+                    jobs, ref, max_time, max_events, failure_schedule
+                ),
+                policy,
+                context="sim.simulate",
+            )
+        else:
+            result = _simulate(
+                jobs, policy, max_time, max_events, failure_schedule
+            )
         span.set(
             completed=len(result.completed),
             unfinished=len(result.unfinished),

@@ -161,11 +161,17 @@ class MaxMinCongestionControl:
                 digest = _flow_hash(_job_flow(job), self.seed)
                 self._pinned[job.job_id] = pool[digest % len(pool)]
         elif self.router == "ecmp":
-            flows = FlowCollection(_job_flow(job) for job in unpinned)
-            routing = ecmp_routing(self.network, flows, seed=self.seed)
+            # Same middle ecmp_routing would pick — its choice is a pure
+            # per-flow hash, so pin from the digest directly instead of
+            # materializing a FlowCollection + Routing (full Path
+            # objects) just to read the middle indices back out.
+            from repro.routers.ecmp import _ECMP_DECISIONS, _flow_hash
+
+            num_middles = self.network.num_middles
             for job in unpinned:
-                middle = routing.middle_of(self.network, _job_flow(job))
-                self._pinned[job.job_id] = middle.index
+                digest = _flow_hash(_job_flow(job), self.seed)
+                self._pinned[job.job_id] = (digest % num_middles) + 1
+            _ECMP_DECISIONS.inc(len(unpinned))
         elif self.router == "least_loaded":
             # pin to the middle currently carrying the fewest pinned jobs
             load = {m: 0 for m in range(1, self.network.n + 1)}

@@ -29,9 +29,9 @@ affected suffix of water-fill rounds instead of starting over.
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs import counter, histogram, trace_span
 from repro.sim.events import EventQueue, load_failure_schedule
@@ -62,6 +62,7 @@ def simulate_stream(
     max_time: Optional[float] = None,
     max_events: int = 1_000_000,
     failure_schedule=None,
+    engine: str = "auto",
 ) -> SimulationResult:
     """Run ``jobs`` under ``policy``, re-solving at most once per
     ``batch_window`` of simulated time.
@@ -80,6 +81,12 @@ def simulate_stream(
 
     The batch size (solver-visible changes absorbed per re-solve) is
     observed by the ``sim.batch_size`` histogram.
+
+    ``engine`` selects the event-loop implementation exactly as in
+    :func:`~repro.sim.flowsim.simulate` — ``"array"`` runs the NumPy
+    slot-store loop in :mod:`repro.sim.arraysim`, ``"auto"`` picks it
+    for large workloads, and ``REPRO_SHADOW`` cross-checks sampled
+    array runs against this object loop.
     """
     if batch_window <= 0.0:
         return simulate(
@@ -88,14 +95,36 @@ def simulate_stream(
             max_time=max_time,
             max_events=max_events,
             failure_schedule=failure_schedule,
+            engine=engine,
         )
+    from repro.sim import arraysim
+
+    chosen = arraysim.resolve_engine(engine, len(jobs))
     _RUNS.inc()
     with trace_span(
-        "sim.simulate_stream", jobs=len(jobs), batch_window=batch_window
+        "sim.simulate_stream",
+        jobs=len(jobs),
+        batch_window=batch_window,
+        engine=chosen,
     ) as span:
-        result = _simulate_stream(
-            jobs, policy, batch_window, max_time, max_events, failure_schedule
-        )
+        if chosen == "array":
+            result = arraysim.with_shadow(
+                lambda: arraysim._simulate_stream_array(
+                    jobs, policy, batch_window, max_time, max_events,
+                    failure_schedule,
+                ),
+                lambda ref: _simulate_stream(
+                    jobs, ref, batch_window, max_time, max_events,
+                    failure_schedule,
+                ),
+                policy,
+                context="sim.simulate_stream",
+            )
+        else:
+            result = _simulate_stream(
+                jobs, policy, batch_window, max_time, max_events,
+                failure_schedule,
+            )
         span.set(
             completed=len(result.completed),
             unfinished=len(result.unfinished),
@@ -134,10 +163,15 @@ def _simulate_stream(
     now = 0.0
     base_t = 0.0
     events = 0
-    #: Completion heap entries ``(finish_time, job_id, epoch)``; stale
-    #: epochs (from before the latest re-solve) are dropped lazily.
-    heap: List[Tuple[float, int, int]] = []
-    epoch = 0
+    #: Completion events for the standing rates, pushed in sorted
+    #: ``(finish, job_id)`` order at each re-solve so the queue's
+    #: ``(time, sequence)`` ordering reproduces it; entries from before
+    #: the latest re-solve are cancelled and dropped lazily
+    #: (tombstones, see :meth:`repro.sim.events.EventQueue.cancel`).
+    #: Entries pop in push order, so the still-pending sequences are a
+    #: FIFO window over ``comp_seqs``.
+    completions = EventQueue()
+    comp_seqs: Deque[int] = deque()
     #: Pending re-solve deadline and the change count it will absorb.
     deadline: Optional[float] = None
     pending = 0
@@ -174,8 +208,8 @@ def _simulate_stream(
         _COMPLETIONS.inc()
 
     def consult(at: float) -> None:
-        """The batch boundary: advance, re-solve, rebuild the heap."""
-        nonlocal rates, epoch, deadline, pending
+        """The batch boundary: advance, re-solve, requeue completions."""
+        nonlocal rates, deadline, pending
         advance_to(at)
         # Retire anything that drained to zero exactly at the boundary
         # (zero-size arrivals, simultaneous completions).
@@ -186,13 +220,19 @@ def _simulate_stream(
         rates = policy.rates(active, remaining, at)
         pending = 0
         deadline = None
-        epoch += 1
-        heap.clear()
-        for jid, rate in rates.items():
-            if rate > 0 and jid in remaining:
-                heapq.heappush(
-                    heap, (at + remaining[jid] / rate, jid, epoch)
-                )
+        # Completions computed for the previous rates are stale: cancel
+        # their still-pending sequences (dropped lazily during pops)
+        # and push the new batch in (finish, job_id) order, so the
+        # queue's (time, sequence) ordering reproduces exactly the
+        # (finish, job_id) tie-breaking of the per-event loop.
+        while comp_seqs:
+            completions.cancel(comp_seqs.popleft())
+        for finish, jid in sorted(
+            (at + remaining[jid] / rate, jid)
+            for jid, rate in rates.items()
+            if rate > 0 and jid in remaining
+        ):
+            comp_seqs.append(completions.push(finish, "completion", jid))
 
     def touch(at: float) -> None:
         """Register one solver-visible change at time ``at``."""
@@ -215,9 +255,10 @@ def _simulate_stream(
 
         # Next thing that happens: queued event, valid completion, or
         # the batch deadline.
-        while heap and heap[0][2] != epoch:
-            heapq.heappop(heap)
-        next_completion = heap[0][0] if heap else None
+        upcoming_completion = completions.peek()
+        next_completion = (
+            upcoming_completion.time if upcoming_completion else None
+        )
         next_event = queue.peek()
         next_t = math.inf if max_time is None else max_time
         if next_event is not None:
@@ -238,7 +279,9 @@ def _simulate_stream(
             break
 
         if next_completion is not None and next_completion <= now + _TIME_EPS:
-            finish, jid, _ = heapq.heappop(heap)
+            event = completions.pop()
+            comp_seqs.popleft()
+            finish, jid = event.time, event.payload
             # The job's full residual was served over [base_t, finish];
             # account it directly and leave the others' lazily advanced
             # state untouched (their rates are unchanged).
@@ -318,15 +361,101 @@ def middle_pools(num_middles: int, pods: int) -> List[Tuple[int, ...]]:
     return [tuple(pool) for pool in pools]
 
 
+def _shard_simulate(
+    network,
+    shard_jobs: Sequence[FlowJob],
+    pool: Tuple[int, ...],
+    batch_window: float,
+    router: str,
+    seed: int,
+    max_time: Optional[float],
+    max_events: int,
+    failure_schedule,
+    engine: str,
+) -> SimulationResult:
+    """Simulate one pod shard with its pool-restricted policy."""
+    from repro.sim.policies import MaxMinCongestionControl
+
+    policy = MaxMinCongestionControl(
+        network,
+        router=router,
+        seed=seed,
+        backend="streaming",
+        middle_pool=pool,
+    )
+    return simulate_stream(
+        shard_jobs,
+        policy,
+        batch_window=batch_window,
+        max_time=max_time,
+        max_events=max_events,
+        failure_schedule=failure_schedule,
+        engine=engine,
+    )
+
+
+#: Per-job completion status codes in the sharded output arrays.
+_SHARD_DROPPED, _SHARD_COMPLETED, _SHARD_UNFINISHED = 0, 1, 2
+
+
+def _shard_worker(
+    pod: int,
+    network,
+    pools,
+    batch_window: float,
+    router: str,
+    seed: int,
+    max_time: Optional[float],
+    max_events: int,
+    failure_schedule,
+    engine: str,
+) -> int:
+    """Worker task for one pod: rebuild the shard's jobs from the shared
+    input columns, simulate it, and scatter the completion columns back
+    into the shared output arrays — only the pod index crosses the pipe.
+    """
+    from repro.parallel import shared_array
+    from repro.sim.jobs import JOB_COLUMNS, jobs_from_arrays
+
+    ptr = shared_array("shard_ptr")
+    first, last = int(ptr[pod]), int(ptr[pod + 1])
+    shard_jobs = jobs_from_arrays(
+        *(shared_array(column)[first:last] for column in JOB_COLUMNS)
+    )
+    result = _shard_simulate(
+        network, shard_jobs, pools[pod], batch_window, router, seed,
+        max_time, max_events, failure_schedule, engine,
+    )
+    status = shared_array("status")
+    completion = shared_array("completion_time")
+    duration = shared_array("duration")
+    slowdown = shared_array("slowdown")
+    index_of = {job.job_id: first + i for i, job in enumerate(shard_jobs)}
+    for record in result.completed:
+        i = index_of[record.job.job_id]
+        status[i] = _SHARD_COMPLETED
+        completion[i] = record.completion_time
+        duration[i] = record.duration
+        slowdown[i] = record.slowdown
+    for job in result.unfinished:
+        status[index_of[job.job_id]] = _SHARD_UNFINISHED
+    shared_array("work_done")[pod] = result.work_done
+    shared_array("end_time")[pod] = result.end_time
+    return pod
+
+
 def simulate_sharded(
     network,
-    jobs: Sequence[FlowJob],
+    workload: Sequence[FlowJob],
     pods: int = 1,
     batch_window: float = 0.0,
     router: str = "ecmp",
     seed: int = 0,
     max_time: Optional[float] = None,
     max_events: int = 1_000_000,
+    failure_schedule=None,
+    engine: str = "auto",
+    jobs: int = 1,
 ) -> SimulationResult:
     """Simulate a pod-local workload as ``pods`` independent shards.
 
@@ -344,12 +473,25 @@ def simulate_sharded(
     pinning to unrestricted ECMP — and the result is byte-identical to
     :func:`simulate_stream` on the whole workload.
 
+    ``jobs`` dispatches the shards to that many worker processes over
+    the zero-copy :class:`repro.parallel.SharedArrays` transport: the
+    job columns are packed into one shared-memory block, each worker
+    rebuilds only its shard's slice and writes per-job completion
+    columns (plus per-pod ``work_done`` / ``end_time``) back into
+    shared output arrays, so only pod indices cross the pipe.  The
+    merged result is byte-identical to ``jobs=1`` — per-shard
+    computations are exactly the ones the sequential loop runs, the
+    completion sort key ``(completion_time, job_id)`` is a strict total
+    order, and ``work_done`` is summed in pod order — and with
+    ``REPRO_OBS=1`` worker telemetry is shipped home and merged, so
+    counters match the sequential run too.  ``failure_schedule`` is
+    replayed inside every shard; ``engine`` selects the event-loop
+    implementation per shard (see :func:`simulate_stream`).
+
     Results are merged deterministically: completions sorted by
     ``(completion_time, job_id)``, unfinished jobs by ``job_id``,
     ``work_done`` summed, ``end_time`` the latest shard clock.
     """
-    from repro.sim.policies import MaxMinCongestionControl
-
     pools = middle_pools(network.num_middles, pods)
     num_switches = 2 * network.n
     if pods > num_switches:
@@ -358,7 +500,7 @@ def simulate_sharded(
             f"got {pods}"
         )
     shards: List[List[FlowJob]] = [[] for _ in range(pods)]
-    for job in jobs:
+    for job in workload:
         pod = pod_of_switch(job.source.switch, num_switches, pods)
         dest_pod = pod_of_switch(job.dest.switch, num_switches, pods)
         if dest_pod != pod:
@@ -368,37 +510,123 @@ def simulate_sharded(
             )
         shards[pod].append(job)
 
+    from repro.parallel import resolve_jobs
+
+    occupied = [pod for pod, shard in enumerate(shards) if shard]
+    workers = min(resolve_jobs(jobs), len(occupied))
     with trace_span(
         "sim.simulate_sharded",
-        jobs=len(jobs),
+        jobs=len(workload),
         pods=pods,
         batch_window=batch_window,
+        workers=workers,
     ):
+        if workers > 1:
+            return _simulate_sharded_parallel(
+                network, shards, occupied, pools, batch_window, router,
+                seed, max_time, max_events, failure_schedule, engine,
+                workers,
+            )
         completed: List[CompletedJob] = []
         unfinished: List[FlowJob] = []
         work_done = 0.0
         end_time = 0.0
-        for pod, shard_jobs in enumerate(shards):
-            if not shard_jobs:
-                continue
-            policy = MaxMinCongestionControl(
-                network,
-                router=router,
-                seed=seed,
-                backend="streaming",
-                middle_pool=pools[pod],
-            )
-            result = simulate_stream(
-                shard_jobs,
-                policy,
-                batch_window=batch_window,
-                max_time=max_time,
-                max_events=max_events,
+        for pod in occupied:
+            result = _shard_simulate(
+                network, shards[pod], pools[pod], batch_window, router,
+                seed, max_time, max_events, failure_schedule, engine,
             )
             completed.extend(result.completed)
             unfinished.extend(result.unfinished)
             work_done += result.work_done
             end_time = max(end_time, result.end_time)
+    completed.sort(key=lambda c: (c.completion_time, c.job.job_id))
+    unfinished.sort(key=lambda job: job.job_id)
+    return SimulationResult(
+        completed=completed,
+        unfinished=unfinished,
+        work_done=work_done,
+        end_time=end_time,
+    )
+
+
+def _simulate_sharded_parallel(
+    network,
+    shards: List[List[FlowJob]],
+    occupied: List[int],
+    pools,
+    batch_window: float,
+    router: str,
+    seed: int,
+    max_time: Optional[float],
+    max_events: int,
+    failure_schedule,
+    engine: str,
+    workers: int,
+) -> SimulationResult:
+    """The multi-process path of :func:`simulate_sharded` (same merge
+    contract; see its docstring for the byte-identity argument)."""
+    import functools
+
+    import numpy as np
+
+    from repro.parallel import parallel_map, shared_arrays
+    from repro.sim.jobs import jobs_to_arrays
+
+    flat_jobs: List[FlowJob] = []
+    ptr = np.zeros(len(shards) + 1, dtype=np.int64)
+    for pod, shard in enumerate(shards):
+        flat_jobs.extend(shard)
+        ptr[pod + 1] = len(flat_jobs)
+    total = len(flat_jobs)
+    columns = jobs_to_arrays(flat_jobs)
+    columns["shard_ptr"] = ptr
+    columns["status"] = np.zeros(total, dtype=np.int8)
+    columns["completion_time"] = np.full(total, np.nan)
+    columns["duration"] = np.full(total, np.nan)
+    columns["slowdown"] = np.full(total, np.nan)
+    columns["work_done"] = np.zeros(len(shards))
+    columns["end_time"] = np.zeros(len(shards))
+
+    worker = functools.partial(
+        _shard_worker,
+        network=network,
+        pools=pools,
+        batch_window=batch_window,
+        router=router,
+        seed=seed,
+        max_time=max_time,
+        max_events=max_events,
+        failure_schedule=failure_schedule,
+        engine=engine,
+    )
+    with shared_arrays(columns) as block:
+        parallel_map(worker, occupied, jobs=workers, chunksize=1,
+                     shared=block)
+        status = block["status"]
+        completion = block["completion_time"]
+        duration = block["duration"]
+        slowdown = block["slowdown"]
+        completed = [
+            CompletedJob(
+                job=flat_jobs[i],
+                completion_time=float(completion[i]),
+                duration=float(duration[i]),
+                slowdown=float(slowdown[i]),
+            )
+            for i in np.nonzero(status == _SHARD_COMPLETED)[0].tolist()
+        ]
+        unfinished = [
+            flat_jobs[i]
+            for i in np.nonzero(status == _SHARD_UNFINISHED)[0].tolist()
+        ]
+        # Pod-order summation: bit-identical to the sequential loop's
+        # running += over occupied shards.
+        work_done = 0.0
+        end_time = 0.0
+        for pod in occupied:
+            work_done += float(block["work_done"][pod])
+            end_time = max(end_time, float(block["end_time"][pod]))
     completed.sort(key=lambda c: (c.completion_time, c.job.job_id))
     unfinished.sort(key=lambda job: job.job_id)
     return SimulationResult(

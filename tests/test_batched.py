@@ -149,6 +149,25 @@ def test_batched_jobs_byte_identical():
         assert tiny.rates() == seq.rates()
 
 
+def test_sub_batches_byte_identical_to_unsorted():
+    pairs = _workload_pairs(scenarios=8) + _chaos_pairs(range(12))
+    reference = solve_max_min_batch(pairs)
+    for sub_batches in (2, 3, 8, 64):
+        sorted_run = solve_max_min_batch(pairs, sub_batches=sub_batches)
+        for ref, alloc in zip(reference, sorted_run):
+            assert alloc.rates() == ref.rates()
+    combined = solve_max_min_batch(pairs, sub_batches=4, jobs=2)
+    for ref, alloc in zip(reference, combined):
+        assert alloc.rates() == ref.rates()
+
+
+def test_sub_batches_degenerate_inputs():
+    (single,) = solve_max_min_batch(_workload_pairs(scenarios=1), sub_batches=4)
+    (ref,) = solve_max_min_batch(_workload_pairs(scenarios=1))
+    assert single.rates() == ref.rates()
+    assert solve_max_min_batch([], sub_batches=4) == []
+
+
 def test_batched_jobs_matches_per_instance_chaos():
     pairs = _chaos_pairs(range(16))
     parallel = solve_max_min_batch(pairs, jobs=2, chunksize=2)

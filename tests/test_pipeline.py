@@ -400,6 +400,35 @@ class TestBenchDiff:
         assert top["span"] == "csr.compile"
         assert top["share"] >= 0.90
 
+    def test_attribution_separates_one_sided_spans(self):
+        from repro.bench import diff_attribution, format_attribution
+
+        # An --engine A/B: the two runs share "policy.consult" but the
+        # engines' own spans exist on one side only.  Those must not be
+        # attributed as movers (their "delta" would be the whole span).
+        base = _bench_doc(
+            1.0,
+            {
+                "sim.object": {"count": 1, "cum_s": 0.7, "self_s": 0.7},
+                "policy.consult": {"count": 5, "cum_s": 0.2, "self_s": 0.2},
+            },
+        )
+        curr = _bench_doc(
+            0.4,
+            {
+                "sim.array": {"count": 1, "cum_s": 0.15, "self_s": 0.15},
+                "policy.consult": {"count": 5, "cum_s": 0.18, "self_s": 0.18},
+            },
+        )
+        (row,) = diff_attribution(base, curr)
+        assert [s["span"] for s in row["spans"]] == ["policy.consult"]
+        assert row["only_baseline"] == [{"span": "sim.object", "self_s": 0.7}]
+        assert row["only_current"] == [{"span": "sim.array", "self_s": 0.15}]
+        text = format_attribution([row])
+        assert "sim.object" in text and "baseline only" in text
+        assert "sim.array" in text and "current only" in text
+        assert "no span breakdown" not in text
+
     def test_diff_command_end_to_end(self, tmp_path, capsys):
         base = _bench_doc(
             1.0, {"csr.compile": {"count": 1, "cum_s": 0.4, "self_s": 0.4}}
